@@ -1,0 +1,122 @@
+package pixel
+
+// One benchmark per published artifact of the paper's evaluation. Each
+// bench regenerates the artifact's full data series (the same rows the
+// corresponding table/figure reports), so `go test -bench=.` both
+// exercises the model end-to-end and gives the per-artifact
+// regeneration cost. Run `cmd/pixelsim -exp <id>` to see the rows.
+
+import (
+	"io"
+	"testing"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+	"pixel/internal/eval"
+	"pixel/internal/omac"
+	"pixel/internal/optsim"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := eval.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (VGG16 per-layer op counts).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig4 regenerates Figure 4 (single-MAC energy/bit sweep).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5 (per-component energy, 3 CNNs).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (area vs lanes).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 (normalized energy, 6 CNNs).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8 (geomean latency sweep).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (ZFNet per-layer latency).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10 (normalized EDP, 6 CNNs).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkTable2 regenerates Table II (component breakdown).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// --- Microbenchmarks of the simulator substrates, for profiling the
+// pieces the artifact benches compose.
+
+// BenchmarkCostNetworkVGG16 prices one full VGG16 inference (the unit of
+// work behind Figures 5/7/8/10).
+func BenchmarkCostNetworkVGG16(b *testing.B) {
+	cfg := arch.MustConfig(arch.OO, 4, 16)
+	net := cnn.VGG16()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := arch.CostNetwork(net, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalOEMultiply runs one 8-bit multiply through the
+// simulated hybrid optical datapath.
+func BenchmarkFunctionalOEMultiply(b *testing.B) {
+	u, err := omac.NewOEUnit(omac.DefaultConfig(4, 8), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	led := optsim.NewLedger()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Multiply(uint64(i)&255, uint64(i>>8)&255, led); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations re-runs the six-CNN evaluation under every
+// calibration ablation (the design-choice sensitivity study).
+func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := arch.RunAblations(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalOOMultiply runs one 8-bit multiply through the
+// simulated all-optical datapath (MRR AND + cascaded-MZI accumulate).
+func BenchmarkFunctionalOOMultiply(b *testing.B) {
+	u, err := omac.NewOOUnit(omac.DefaultConfig(4, 8), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	led := optsim.NewLedger()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Multiply(uint64(i)&255, uint64(i>>8)&255, led); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

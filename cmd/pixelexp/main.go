@@ -1,0 +1,84 @@
+// Command pixelexp runs the complete evaluation suite: every table and
+// figure of the paper, followed by the paper-vs-measured headline
+// summary. Its output is the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pixelexp          # everything, aligned tables
+//	pixelexp -csv     # everything, CSV blocks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pixel/internal/arch"
+	"pixel/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pixelexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pixelexp", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	ext := fs.Bool("ext", false, "also run the extension studies (ext-*)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	experiments := eval.Experiments()
+	if *ext {
+		experiments = eval.AllExperiments()
+	}
+	for _, e := range experiments {
+		fmt.Printf("== %s (%s) ==\n", e.Paper, e.ID)
+		tab, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			if err := tab.RenderCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	h := eval.MeasureHeadlines()
+	fmt.Println("== Headline claims: paper vs measured ==")
+	rows := []struct {
+		claim           string
+		paper, measured float64
+	}{
+		{"OE geomean EDP improvement over EE (4 lanes, 16 b/lane)", 48.4, 100 * h.OEEDPImprovement},
+		{"OO geomean EDP improvement over EE (4 lanes, 16 b/lane)", 73.9, 100 * h.OOEDPImprovement},
+		{"optical multiply energy saving over EE", 94.9, 100 * h.MulSaving},
+		{"OO accumulate energy saving over OE", 53.8, 100 * h.AddSaving},
+		{"ZFNet Conv2: OO latency gain vs EE (8 lanes, 8 b/lane)", 31.9, 100 * h.ZFNetConv2VsEE},
+		{"ZFNet Conv2: OO latency gain vs OE (8 lanes, 8 b/lane)", 18.6, 100 * h.ZFNetConv2VsOE},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-58s paper %5.1f%%   measured %5.1f%%\n", r.claim, r.paper, r.measured)
+	}
+	fmt.Printf("%-58s paper %5.2fx   measured %5.2fx\n",
+		"OO/OE laser energy ratio (Table II)", 1.52, h.LaserRatioOOvsOE)
+
+	results, err := arch.RunAblations()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Ablations (geomean EDP improvement over EE, 4 lanes / 16 bits-lane) ==")
+	for _, r := range results {
+		fmt.Printf("%-20s OE %5.1f%%  OO %5.1f%%   %s\n",
+			r.Name, 100*r.OEImprovement, 100*r.OOImprovement, r.Description)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command pixelmap schedules a CNN onto a PIXEL tile grid and prints
+// the per-layer assignment, utilization, weight-preload cost and
+// makespan, for either weight transport (electrical or photonic).
+//
+// Usage:
+//
+//	pixelmap -net VGG16 -rows 4 -cols 4 -lanes 4 -bits 8 -design OO
+//	pixelmap -net LeNet -transport photonic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+	"pixel/internal/interconnect"
+	"pixel/internal/mapper"
+	"pixel/internal/phy"
+	"pixel/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pixelmap:", err)
+		os.Exit(1)
+	}
+}
+
+func parseDesign(s string) (arch.Design, error) {
+	switch s {
+	case "EE":
+		return arch.EE, nil
+	case "OE":
+		return arch.OE, nil
+	case "OO":
+		return arch.OO, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q (EE, OE, OO)", s)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pixelmap", flag.ContinueOnError)
+	netName := fs.String("net", "LeNet", "network (see pixelsim; e.g. VGG16, LeNet)")
+	rows := fs.Int("rows", 4, "tile grid rows")
+	cols := fs.Int("cols", 4, "tile grid columns")
+	lanes := fs.Int("lanes", 4, "wavelengths per tile")
+	bits := fs.Int("bits", 8, "bits per lane")
+	designStr := fs.String("design", "OO", "MAC design: EE, OE or OO")
+	transportStr := fs.String("transport", "electrical", "weight transport: electrical or photonic")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := cnn.ByName(*netName)
+	if err != nil {
+		return err
+	}
+	design, err := parseDesign(*designStr)
+	if err != nil {
+		return err
+	}
+	var transport mapper.WeightTransport
+	switch *transportStr {
+	case "electrical":
+		transport = mapper.ElectricalPreload
+	case "photonic":
+		transport = mapper.PhotonicPreload
+	default:
+		return fmt.Errorf("unknown transport %q (electrical, photonic)", *transportStr)
+	}
+
+	grid, err := interconnect.NewGrid(*rows, *cols, *lanes, 10*phy.Gigahertz)
+	if err != nil {
+		return err
+	}
+	cfg, err := arch.NewConfig(design, *lanes, *bits)
+	if err != nil {
+		return err
+	}
+	sched, err := mapper.MapNetwork(net, grid, cfg, mapper.Options{Transport: transport})
+	if err != nil {
+		return err
+	}
+
+	tab := report.New(
+		fmt.Sprintf("%s on a %dx%d grid (%d lanes, %d bits/lane, %s, %s weights)",
+			net.Name, *rows, *cols, *lanes, *bits, design, transport),
+		"Layer", "FilterTiles", "ChanGroups", "Rounds", "Util")
+	for _, a := range sched.Assignments {
+		tab.AddRow(a.Layer,
+			fmt.Sprint(a.FilterTiles),
+			fmt.Sprint(a.ChannelGroups),
+			report.Sci(a.Rounds),
+			report.F(a.Utilization, 3))
+	}
+	tab.AddNote("compute %s + preload %s = makespan %s; preload energy %s; mean utilization %.1f%%",
+		phy.FormatTime(sched.ComputeS), phy.FormatTime(sched.PreloadS),
+		phy.FormatTime(sched.MakespanS), phy.FormatEnergy(sched.PreloadJ),
+		100*sched.MeanUtilization())
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	r, err := arch.Throughput(net, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsingle-ensemble throughput view: %.3g inf/s, %.3g W avg, %.3g inf/J\n",
+		r.InferencesPerSecond, r.AvgPowerW, r.InferencesPerJoule)
+	return nil
+}

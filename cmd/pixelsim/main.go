@@ -1,0 +1,64 @@
+// Command pixelsim regenerates one artifact of the PIXEL paper's
+// evaluation (a table or figure) and prints it as an aligned table or
+// CSV.
+//
+// Usage:
+//
+//	pixelsim -exp fig7            # Figure 7 as an ASCII table
+//	pixelsim -exp table2 -csv     # Table II as CSV
+//	pixelsim -list                # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pixel/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pixelsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pixelsim", flag.ContinueOnError)
+	exp := fs.String("exp", "", "experiment id (table1, fig4..fig10, table2, ext-*)")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	md := fs.Bool("md", false, "emit GitHub-flavored Markdown")
+	list := fs.Bool("list", false, "list available experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csv && *md {
+		return fmt.Errorf("choose one of -csv and -md")
+	}
+	if *list {
+		for _, e := range eval.AllExperiments() {
+			fmt.Printf("%-15s %-10s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("missing -exp (or use -list)")
+	}
+	e, err := eval.ByID(*exp)
+	if err != nil {
+		return err
+	}
+	tab, err := e.Run()
+	if err != nil {
+		return err
+	}
+	switch {
+	case *csv:
+		return tab.RenderCSV(os.Stdout)
+	case *md:
+		return tab.RenderMarkdown(os.Stdout)
+	default:
+		return tab.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,79 @@
+// Command pixelsweep runs a design-space sweep for one network and
+// emits the results as JSON (for plotting) or a ranked table.
+//
+// Usage:
+//
+//	pixelsweep -net AlexNet -lanes 2,4,8,16 -bits 4,8,16,32 -json > sweep.json
+//	pixelsweep -net VGG16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pixel"
+	"pixel/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pixelsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pixelsweep", flag.ContinueOnError)
+	netName := fs.String("net", "AlexNet", "network to sweep")
+	lanesStr := fs.String("lanes", "2,4,8,16", "comma-separated lane counts")
+	bitsStr := fs.String("bits", "4,8,16,32", "comma-separated bits/lane")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lanes, err := parseInts(*lanesStr)
+	if err != nil {
+		return err
+	}
+	bits, err := parseInts(*bitsStr)
+	if err != nil {
+		return err
+	}
+	results, err := pixel.Sweep(*netName, pixel.Designs(), lanes, bits)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return pixel.WriteResultsJSON(os.Stdout, results)
+	}
+	ranked := pixel.RankByEDP(results)
+	tab := report.New(fmt.Sprintf("%s design-space sweep, ranked by EDP", *netName),
+		"Rank", "Des", "Lanes", "Bits", "Energy [J]", "Latency [s]", "EDP [J*s]")
+	for i, r := range ranked {
+		tab.AddRow(fmt.Sprint(i+1), r.Design.String(),
+			fmt.Sprint(r.Lanes), fmt.Sprint(r.Bits),
+			report.Sci(r.EnergyJ), report.Sci(r.LatencyS), report.Sci(r.EDP))
+	}
+	best, err := pixel.BestEDP(results)
+	if err != nil {
+		return err
+	}
+	tab.AddNote("best point: %s at %d lanes, %d bits/lane", best.Design, best.Lanes, best.Bits)
+	return tab.Render(os.Stdout)
+}

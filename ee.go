@@ -1,0 +1,26 @@
+package pixel
+
+import "pixel/internal/bitserial"
+
+// eeAdapter wraps the Stripes engine behind the MAC interface.
+type eeAdapter struct {
+	engine *bitserial.Engine
+}
+
+func newEEAdapter(bits, terms int) (*eeAdapter, error) {
+	e, err := bitserial.NewEngine(bits, terms)
+	if err != nil {
+		return nil, err
+	}
+	return &eeAdapter{engine: e}, nil
+}
+
+func (a *eeAdapter) Multiply(x, y uint64) (uint64, error) {
+	v, _, err := a.engine.Multiply(x, y)
+	return v, err
+}
+
+func (a *eeAdapter) Dot(x, y []uint64) (uint64, error) {
+	v, _, err := a.engine.DotProduct(x, y)
+	return v, err
+}

@@ -1,0 +1,66 @@
+// PIXEL's x/y photonic interconnect (Figure 3): a tile grid of OMACs
+// firing neurons on dedicated WDM bands in the MWSR discipline. The
+// example sizes the wavelength allocation, checks the comb-laser
+// ceiling, closes the worst-case link budget and prices a neuron
+// broadcast.
+//
+//	go run ./examples/interconnect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pixel/internal/interconnect"
+	"pixel/internal/photonics"
+	"pixel/internal/phy"
+)
+
+func main() {
+	for _, shape := range []struct{ rows, cols, lanes int }{
+		{4, 4, 4},
+		{4, 4, 8},
+		{8, 8, 8},
+	} {
+		g, err := interconnect.NewGrid(shape.rows, shape.cols, shape.lanes, 10*phy.Gigahertz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		launch := g.RequiredLaunchPower()
+		laser := photonics.DefaultLaser(g.Lanes, launch)
+		fmt.Printf("%dx%d tiles, %d lanes:\n", g.Rows, g.Cols, g.Lanes)
+		fmt.Printf("  wavelengths per row waveguide : %d (of %d available)\n",
+			g.RowWavelengths(), interconnect.MaxWavelengths)
+		lo, hi := g.Band(2)
+		fmt.Printf("  tile 2 transmit band          : lambda %d..%d\n", lo, hi-1)
+		fmt.Printf("  worst-case launch power       : %s per wavelength\n", phy.FormatPower(launch))
+		fmt.Printf("  64-bit neuron broadcast       : %s, %s\n",
+			phy.FormatTime(g.BroadcastLatency(64)),
+			phy.FormatEnergy(g.BroadcastEnergy(64, laser)))
+		fmt.Printf("  waveguide area                : %s\n\n", phy.FormatArea(g.WaveguideArea()))
+	}
+
+	// Scalability ceiling: the MWSR discipline runs out of comb-laser
+	// wavelengths; the library reports it rather than mis-sizing.
+	_, err := interconnect.NewGrid(4, 16, 16, 10*phy.Gigahertz)
+	fmt.Printf("16 tiles x 16 lanes per row -> %v\n\n", err)
+
+	// MWSR vs SWMR: the energy/performance trade the paper's related
+	// work describes, priced on PIXEL's own fabric.
+	g, err := interconnect.NewGrid(4, 8, 4, 10*phy.Gigahertz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	laser := photonics.DefaultLaser(g.Lanes, g.RequiredLaunchPower())
+	mwsr, swmr, err := g.CompareDisciplines(128, laser)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("128-bit row broadcast, 8 tiles:")
+	for _, c := range []interconnect.BroadcastCost{mwsr, swmr} {
+		fmt.Printf("  %s: %d transmission(s), %d detector banks, %s, %s, launch %s/lambda\n",
+			c.Discipline, c.Transmissions, c.DetectorBanks,
+			phy.FormatEnergy(c.Energy), phy.FormatTime(c.Latency),
+			phy.FormatPower(c.LaunchPower))
+	}
+}

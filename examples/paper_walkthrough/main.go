@@ -1,0 +1,82 @@
+// Paper walkthrough: every worked example in the PIXEL paper, computed
+// by the corresponding library call. Run it next to the paper to see
+// which formula lives where.
+//
+//	go run ./examples/paper_walkthrough
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pixel"
+	"pixel/internal/cnn"
+	"pixel/internal/elec"
+	"pixel/internal/photonics"
+	"pixel/internal/phy"
+)
+
+func main() {
+	fmt.Println("== Section II-B: the STR window example ==")
+	mac, err := pixel.NewMAC(pixel.EE, 4, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial, err := mac.DotProduct([]uint64{2, 0, 3, 8}, []uint64{6, 1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle-1 partial sum (2,0,3,8)x(6,1,2,3) = %d   (paper: 42)\n", partial)
+	full := uint64(0)
+	inputs := [][]uint64{{2, 4, 6, 9}, {0, 1, 3, 4}, {3, 5, 1, 2}, {8, 2, 8, 6}}
+	synapses := [][]uint64{{6, 9, 13, 11}, {1, 2, 1, 2}, {2, 3, 4, 5}, {3, 1, 3, 1}}
+	for i := range inputs {
+		v, err := mac.DotProduct(inputs[i], synapses[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		full += v
+	}
+	fmt.Printf("full window = %d   (paper prints 368; its own operands give 329)\n\n", full)
+
+	fmt.Println("== Section IV-A1: the CLA model (Eq. 5/6) ==")
+	fmt.Printf("GC(8) = %d gates   (paper: 212)\n", elec.CLAGateCount(8))
+	fmt.Printf("LD(8) = %d levels  (paper: 10 -> 2.95 ns at 0.295 ns/level)\n", elec.CLALogicDepth(8))
+	fmt.Printf("GC(4) = %d gates   (paper: 58)\n\n", elec.CLAGateCount(4))
+
+	fmt.Println("== Section IV-A2: photonic delays (Eq. 7-10) ==")
+	mrr := photonics.DefaultMRRParams()
+	fmt.Printf("MRR S-path: %.1f um -> %s   (paper: 47.1 um, 0.547 ps)\n",
+		mrr.SPathLength()/phy.Micrometer, phy.FormatTime(mrr.SPathDelay()))
+	mzi := photonics.DefaultMZIParams()
+	d, err := mzi.InterStagePath(10 * phy.Gigahertz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MZI inter-stage path at 10 GHz: %.2f mm   (paper prints 6.77; Eq. 9 with n=3.48 gives this)\n",
+		d/phy.Millimeter)
+	acc, err := mzi.AccumulationDelay(8, 10*phy.Gigahertz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8-stage accumulation: %s   (paper Eq. 10: 0.736 ns)\n\n", phy.FormatTime(acc))
+
+	fmt.Println("== Section IV-B: VGG16 Conv1 (Eq. 11 and the op counts) ==")
+	conv1 := cnn.VGG16().Layers[0]
+	counts := conv1.Counts(cnn.ModePaper)
+	fmt.Printf("E = %d, N_MVM = %.0f (paper: 9633792), N_mul = %.0f (paper: 86704128)\n\n",
+		conv1.OutputSize(), counts.MVM, counts.Mul)
+
+	fmt.Println("== Section IV-C: the OE worked energy example ==")
+	f := photonics.NewDoubleMRRFilter(0)
+	total := 64.0 * 4.0 * f.EnergyPerCycle(4)
+	fmt.Printf("128 MRRs x 500 fJ x 4 bits x 4 cycles = %s   (paper: 1.024 nJ)\n\n",
+		phy.FormatEnergy(total))
+
+	fmt.Println("== Section V: the headline results ==")
+	h := pixel.MeasureHeadlines()
+	fmt.Printf("OE EDP improvement: %.1f%% (paper 48.4%%)\n", 100*h.OEEDPImprovement)
+	fmt.Printf("OO EDP improvement: %.1f%% (paper 73.9%%)\n", 100*h.OOEDPImprovement)
+	fmt.Printf("optical multiply saving: %.1f%% (paper 94.9%%)\n", 100*h.MulSaving)
+	fmt.Printf("OO accumulate saving: %.1f%% (paper 53.8%%)\n", 100*h.AddSaving)
+}

@@ -1,0 +1,131 @@
+package pixel
+
+import (
+	"fmt"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+	"pixel/internal/interconnect"
+	"pixel/internal/mapper"
+	"pixel/internal/phy"
+)
+
+// PowerSummary is the chip-level power view of a design point (see
+// internal/arch.Power for the model).
+type PowerSummary struct {
+	Network string
+	Design  Design
+	Lanes   int
+	Bits    int
+	// DynamicW is the average draw while inferring; StaticW the
+	// always-on floor (ring tuning, SRAM and logic leakage); LaserW
+	// the laser wall-plug draw; TotalW the provisioning figure.
+	DynamicW float64
+	StaticW  float64
+	LaserW   float64
+	TotalW   float64
+}
+
+// EvaluatePower returns the power budget of a design point.
+func EvaluatePower(network string, d Design, lanes, bits int) (PowerSummary, error) {
+	net, err := cnn.ByName(network)
+	if err != nil {
+		return PowerSummary{}, err
+	}
+	cfg, err := arch.NewConfig(d.arch(), lanes, bits)
+	if err != nil {
+		return PowerSummary{}, err
+	}
+	p, err := arch.Power(net, cfg)
+	if err != nil {
+		return PowerSummary{}, err
+	}
+	return PowerSummary{
+		Network:  network,
+		Design:   d,
+		Lanes:    lanes,
+		Bits:     bits,
+		DynamicW: p.DynamicW.Total(),
+		StaticW:  p.TotalStaticW(),
+		LaserW:   p.LaserIdleW,
+		TotalW:   p.TotalW(),
+	}, nil
+}
+
+// ScheduleSummary is a tile-grid mapping of a network (see
+// internal/mapper).
+type ScheduleSummary struct {
+	Network string
+	Rows    int
+	Cols    int
+	// SequentialS and PipelinedS are the makespans without and with
+	// double-buffered weight register files.
+	SequentialS float64
+	PipelinedS  float64
+	// PreloadJ is the weight-movement energy; Utilization the
+	// round-weighted mean tile utilization.
+	PreloadJ    float64
+	Utilization float64
+}
+
+// MapToGrid schedules a network onto a rows x cols tile grid with the
+// given design point, using photonic weight streaming when
+// photonicWeights is set.
+func MapToGrid(network string, d Design, lanes, bits, rows, cols int, photonicWeights bool) (ScheduleSummary, error) {
+	net, err := cnn.ByName(network)
+	if err != nil {
+		return ScheduleSummary{}, err
+	}
+	cfg, err := arch.NewConfig(d.arch(), lanes, bits)
+	if err != nil {
+		return ScheduleSummary{}, err
+	}
+	grid, err := interconnect.NewGrid(rows, cols, lanes, 10*phy.Gigahertz)
+	if err != nil {
+		return ScheduleSummary{}, err
+	}
+	transport := mapper.ElectricalPreload
+	if photonicWeights {
+		transport = mapper.PhotonicPreload
+	}
+	s, err := mapper.MapNetwork(net, grid, cfg, mapper.Options{Transport: transport})
+	if err != nil {
+		return ScheduleSummary{}, err
+	}
+	return ScheduleSummary{
+		Network:     network,
+		Rows:        rows,
+		Cols:        cols,
+		SequentialS: s.MakespanS,
+		PipelinedS:  s.PipelinedMakespanS,
+		PreloadJ:    s.PreloadJ,
+		Utilization: s.MeanUtilization(),
+	}, nil
+}
+
+// Ablations re-runs the six-CNN evaluation under each calibration
+// ablation and returns (name, OE improvement, OO improvement) rows.
+type AblationRow struct {
+	Name          string
+	Description   string
+	OEImprovement float64
+	OOImprovement float64
+}
+
+// RunAblations exposes the design-choice sensitivity study.
+func RunAblations() ([]AblationRow, error) {
+	results, err := arch.RunAblations()
+	if err != nil {
+		return nil, fmt.Errorf("pixel: %w", err)
+	}
+	out := make([]AblationRow, len(results))
+	for i, r := range results {
+		out[i] = AblationRow{
+			Name:          r.Name,
+			Description:   r.Description,
+			OEImprovement: r.OEImprovement,
+			OOImprovement: r.OOImprovement,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package pixel
+
+import "testing"
+
+func TestEvaluatePower(t *testing.T) {
+	p, err := EvaluatePower("AlexNet", OO, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DynamicW <= 0 || p.StaticW <= 0 || p.LaserW <= 0 {
+		t.Errorf("degenerate power summary %+v", p)
+	}
+	if p.TotalW != p.DynamicW+p.StaticW {
+		t.Error("total = dynamic + static identity violated")
+	}
+	ee, err := EvaluatePower("AlexNet", EE, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ee.LaserW != 0 {
+		t.Error("EE has no laser")
+	}
+	if ee.TotalW <= p.TotalW {
+		t.Error("EE should draw more total power at the headline point")
+	}
+	if _, err := EvaluatePower("NopeNet", EE, 4, 16); err == nil {
+		t.Error("unknown network should error")
+	}
+	if _, err := EvaluatePower("LeNet", EE, 0, 16); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestMapToGrid(t *testing.T) {
+	elec, err := MapToGrid("LeNet", OO, 4, 8, 4, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phot, err := MapToGrid("LeNet", OO, 4, 8, 4, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elec.PipelinedS > elec.SequentialS {
+		t.Error("pipelined makespan cannot exceed sequential")
+	}
+	if phot.SequentialS >= elec.SequentialS {
+		t.Error("photonic weight streaming should shorten the makespan")
+	}
+	if elec.Utilization <= 0 || elec.Utilization > 1 {
+		t.Errorf("utilization = %v", elec.Utilization)
+	}
+	if _, err := MapToGrid("LeNet", OO, 16, 8, 4, 16, false); err == nil {
+		t.Error("over-budget wavelength plan should error")
+	}
+	if _, err := MapToGrid("NopeNet", OO, 4, 8, 4, 4, false); err == nil {
+		t.Error("unknown network should error")
+	}
+}
+
+func TestRunAblationsPublic(t *testing.T) {
+	rows, err := RunAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || rows[0].Name != "baseline" {
+		t.Errorf("ablation rows wrong: %v", rows)
+	}
+	for _, r := range rows {
+		if r.OOImprovement <= 0 {
+			t.Errorf("%s: OO improvement should stay positive", r.Name)
+		}
+	}
+}

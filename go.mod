@@ -1,0 +1,3 @@
+module pixel
+
+go 1.22

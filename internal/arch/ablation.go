@@ -1,0 +1,127 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"pixel/internal/cnn"
+)
+
+// Ablations quantify how much each design choice contributes to the
+// headline result (the OO geomean EDP improvement over EE at 4 lanes,
+// 16 bits/lane). Each ablation mutates one calibration knob, re-runs
+// the full six-CNN evaluation, and reports the shifted improvements.
+
+// AblationResult is one ablation's outcome.
+type AblationResult struct {
+	// Name identifies the ablation.
+	Name string
+	// Description says what was changed and why it matters.
+	Description string
+	// OEImprovement / OOImprovement are the geomean EDP improvements
+	// over EE under the ablated calibration.
+	OEImprovement float64
+	OOImprovement float64
+}
+
+// geomeanEDPImprovements computes (1 - geomean(EDP_d)/geomean(EDP_EE))
+// for OE and OO at the headline operating point under cal.
+func geomeanEDPImprovements(cal *Calibration) (oe, oo float64, err error) {
+	geo := func(d Design) (float64, error) {
+		cfg := Config{Design: d, Lanes: 4, Bits: 16, Tech: MustConfig(d, 4, 16).Tech, Cal: cal}
+		logSum := 0.0
+		for _, net := range cnn.All() {
+			c, err := CostNetwork(net, cfg)
+			if err != nil {
+				return 0, err
+			}
+			logSum += math.Log(c.EDP())
+		}
+		return math.Exp(logSum / 6), nil
+	}
+	ee, err := geo(EE)
+	if err != nil {
+		return 0, 0, err
+	}
+	oeV, err := geo(OE)
+	if err != nil {
+		return 0, 0, err
+	}
+	ooV, err := geo(OO)
+	if err != nil {
+		return 0, 0, err
+	}
+	return 1 - oeV/ee, 1 - ooV/ee, nil
+}
+
+// ablation couples a name to a calibration mutation.
+type ablation struct {
+	name, desc string
+	mutate     func(*Calibration)
+}
+
+func ablations() []ablation {
+	return []ablation{
+		{
+			name:   "baseline",
+			desc:   "frozen calibration, no change",
+			mutate: func(*Calibration) {},
+		},
+		{
+			name:   "no-mzi-accumulate",
+			desc:   "OO falls back to full electrical accumulation (residual fraction 1, MZI energy still paid): isolates the MZI chain's contribution",
+			mutate: func(c *Calibration) { c.OOResidualAddFraction = 1 },
+		},
+		{
+			name: "free-ee-wiring",
+			desc: "EE broadcast wiring made free (wire factors 0): how much of the optical win is EE's wire growth",
+			mutate: func(c *Calibration) {
+				c.EEWireFactorPerBit = 0
+				c.EEWireFactorPerLane = 0
+			},
+		},
+		{
+			name:   "expensive-rings",
+			desc:   "MRR actuation energy x4 (2 pJ/bit devices instead of 500 fJ)",
+			mutate: func(c *Calibration) { c.MRRSwitchPerBit *= 4 },
+		},
+		{
+			name:   "slow-deserializer",
+			desc:   "optical deserialization/conversion trees x2 slower: steepens the U-shape",
+			mutate: func(c *Calibration) { c.DeserializeQuad *= 2 },
+		},
+		{
+			name:   "inefficient-laser",
+			desc:   "wall-plug efficiency 2% instead of 10%",
+			mutate: func(c *Calibration) { c.LaserWallPlug = 0.02 },
+		},
+		{
+			name:   "free-round-overhead",
+			desc:   "per-round scheduling overhead removed: amplifies each design's raw datapath time (at 16 bits/lane the optical designs sit past their latency minimum, so their EDP advantage shrinks)",
+			mutate: func(c *Calibration) { c.RoundOverhead = 0 },
+		},
+	}
+}
+
+// RunAblations evaluates every ablation.
+func RunAblations() ([]AblationResult, error) {
+	var out []AblationResult
+	for _, a := range ablations() {
+		cal := *DefaultCal()
+		a.mutate(&cal)
+		if err := cal.Validate(); err != nil {
+			return nil, fmt.Errorf("arch: ablation %s: %w", a.name, err)
+		}
+		oe, oo, err := geomeanEDPImprovements(&cal)
+		if err != nil {
+			return nil, fmt.Errorf("arch: ablation %s: %w", a.name, err)
+		}
+		out = append(out, AblationResult{
+			Name:          a.name,
+			Description:   a.desc,
+			OEImprovement: oe,
+			OOImprovement: oo,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package arch
+
+import "testing"
+
+func ablationByName(t *testing.T, results []AblationResult, name string) AblationResult {
+	t.Helper()
+	for _, r := range results {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("ablation %q missing", name)
+	return AblationResult{}
+}
+
+func TestRunAblations(t *testing.T) {
+	results, err := RunAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("ablation count = %d, want 7", len(results))
+	}
+	base := ablationByName(t, results, "baseline")
+
+	// Removing the MZI accumulation must shrink OO's advantage while
+	// leaving OE's untouched.
+	noMZI := ablationByName(t, results, "no-mzi-accumulate")
+	if noMZI.OOImprovement >= base.OOImprovement {
+		t.Errorf("no-mzi OO improvement %.3f should be below baseline %.3f",
+			noMZI.OOImprovement, base.OOImprovement)
+	}
+	if diff := noMZI.OEImprovement - base.OEImprovement; diff > 1e-9 || diff < -1e-9 {
+		t.Error("no-mzi ablation must not move OE")
+	}
+
+	// Free EE wiring narrows both optical advantages.
+	freeWire := ablationByName(t, results, "free-ee-wiring")
+	if freeWire.OOImprovement >= base.OOImprovement || freeWire.OEImprovement >= base.OEImprovement {
+		t.Error("free EE wiring should shrink the optical advantage")
+	}
+
+	// Expensive rings hurt both optical designs.
+	rings := ablationByName(t, results, "expensive-rings")
+	if rings.OOImprovement >= base.OOImprovement || rings.OEImprovement >= base.OEImprovement {
+		t.Error("4x ring energy should shrink the optical advantage")
+	}
+
+	// A slower deserializer hurts optical latency, so EDP advantage
+	// shrinks.
+	slow := ablationByName(t, results, "slow-deserializer")
+	if slow.OOImprovement >= base.OOImprovement || slow.OEImprovement >= base.OEImprovement {
+		t.Error("slower deserialization should shrink the optical advantage")
+	}
+
+	// An inefficient laser taxes only the optical designs.
+	laser := ablationByName(t, results, "inefficient-laser")
+	if laser.OOImprovement >= base.OOImprovement {
+		t.Error("2% wall plug should shrink OO's advantage")
+	}
+
+	// Removing the common round overhead exposes the raw datapath
+	// times; at 16 bits/lane the optical designs are past their
+	// latency minimum, so their EDP advantage shrinks.
+	free := ablationByName(t, results, "free-round-overhead")
+	if free.OOImprovement >= base.OOImprovement {
+		t.Error("zero round overhead should shrink OO's advantage at 16 bits/lane")
+	}
+
+	// Even under every ablation, OO keeps beating EE at the headline
+	// point (the paper's conclusion is robust to these knobs).
+	for _, r := range results {
+		if r.OOImprovement <= 0 {
+			t.Errorf("%s: OO should still beat EE, improvement %.3f", r.Name, r.OOImprovement)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package arch
+
+import (
+	"pixel/internal/elec"
+	"pixel/internal/photonics"
+)
+
+// AreaBreakdown itemizes the layout area [m^2] of a MAC-unit ensemble.
+type AreaBreakdown struct {
+	Electrical float64 // AND arrays, accumulators, activation units
+	Rings      float64 // MRR filters and modulators
+	MZIs       float64 // MZI accumulation chains
+	Waveguides float64 // the chains' bit-period-matched inter-stage paths
+	Receivers  float64 // photodiodes and converter front ends
+}
+
+// Total returns the summed area [m^2].
+func (a AreaBreakdown) Total() float64 {
+	return a.Electrical + a.Rings + a.MZIs + a.Waveguides + a.Receivers
+}
+
+// Area returns the area breakdown of the configuration's MAC-unit
+// ensemble. The orderings the paper reports (Figure 6) emerge from the
+// device footprints: 22 nm logic is tiny, rings are tens of micrometers,
+// and the 2 mm-armed MZIs dominate everything — EE < OE << OO.
+func Area(cfg Config) AreaBreakdown {
+	census := DeviceCensus(cfg)
+	tech := cfg.Tech
+	w := cfg.AccumulatorWidth()
+
+	var a AreaBreakdown
+
+	acc := elec.Accumulator(w).Area(tech)
+	act := elec.TanhUnitGates(w).Area(tech)
+	andArr := elec.ANDArray(cfg.Bits).Area(tech)
+	a.Electrical = float64(census.Accumulators)*acc +
+		float64(census.ActUnits)*act +
+		float64(census.ANDArrays)*andArr
+
+	ringArea := photonics.DefaultMRRParams().RingArea()
+	a.Rings = float64(census.TotalRings()) * ringArea
+
+	mziArea := photonics.DefaultMZIParams().Area()
+	a.MZIs = float64(census.MZIs) * mziArea
+	if census.MZIs > 0 {
+		// Each chain of NativePrecision stages needs NativePrecision-1
+		// inter-stage paths cut to one bit period (Eq. 8/9, ~6.6 mm),
+		// routed at the standard waveguide pitch — in fact the largest
+		// single contributor to OO area.
+		if dPath, err := photonics.DefaultMZIParams().InterStagePath(cfg.Cal.OpticalRate); err == nil {
+			chains := census.MZIs / NativePrecision
+			perChain := float64(NativePrecision-1) * dPath
+			pitch := photonics.DefaultWaveguide(0).Pitch
+			a.Waveguides = float64(chains) * perChain * pitch
+		}
+	}
+
+	pd := photonics.DefaultPhotodetector().Area
+	ladderExtra := elec.ComparatorLadder(NativePrecision + 1).Area(tech)
+	a.Receivers = float64(census.Detectors)*pd + float64(census.Ladders)*ladderExtra
+
+	return a
+}

@@ -1,0 +1,67 @@
+package arch
+
+// Census counts the devices of a full MAC-unit ensemble (L OMACs, the
+// arrangement of Figure 2): L^2 concurrent MAC streams, one filter per
+// OMAC.
+type Census struct {
+	// MRRFilterRings is the number of rings in the AND filter banks.
+	// Per the paper's worked example the L-OMAC ensemble has L^3
+	// double-ring filters = 2*L^3 rings (128 rings at L = 4).
+	MRRFilterRings int
+	// ModulatorRings is the number of E/O modulator rings (one per
+	// transmitted wavelength per OMAC: L^2 total).
+	ModulatorRings int
+	// MZIs is the number of Mach-Zehnder stages (OO only): one chain of
+	// NativePrecision stages per MAC stream.
+	MZIs int
+	// Detectors is the number of photodiode receivers.
+	Detectors int
+	// Ladders is the number of comparator-ladder converters (OO only).
+	Ladders int
+	// ANDArrays is the number of electrical AND arrays (EE only).
+	ANDArrays int
+	// Accumulators is the number of electrical shift-accumulate units.
+	Accumulators int
+	// ActUnits is the number of activation-function units.
+	ActUnits int
+}
+
+// DeviceCensus returns the device counts for the configuration.
+func DeviceCensus(cfg Config) Census {
+	l := cfg.Lanes
+	streams := l * l
+	switch cfg.Design {
+	case EE:
+		return Census{
+			ANDArrays:    streams,
+			Accumulators: streams,
+			ActUnits:     l,
+		}
+	case OE:
+		return Census{
+			MRRFilterRings: 2 * l * l * l,
+			ModulatorRings: streams,
+			Detectors:      streams,
+			Accumulators:   streams,
+			ActUnits:       l,
+		}
+	case OO:
+		return Census{
+			MRRFilterRings: 2 * l * l * l,
+			ModulatorRings: streams,
+			MZIs:           streams * NativePrecision,
+			Detectors:      streams,
+			Ladders:        streams,
+			// Only the narrow merge adders remain electrical.
+			Accumulators: l,
+			ActUnits:     l,
+		}
+	default:
+		return Census{}
+	}
+}
+
+// TotalRings returns all microrings (filters + modulators).
+func (c Census) TotalRings() int {
+	return c.MRRFilterRings + c.ModulatorRings
+}

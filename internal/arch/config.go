@@ -1,0 +1,149 @@
+// Package arch is the architectural cost model of PIXEL: it prices a
+// full accelerator — EE, OE or OO, at a given lane count and bits/lane —
+// in energy, latency and area, for whole CNN inferences. It is the
+// engine behind every figure and table of the paper's evaluation
+// (Figures 4-10, Tables I-II).
+//
+// # Model
+//
+// One *operation* is a MAC at the native operand precision P0 = 8 bits,
+// executed with the Stripes bit-serial discipline (P0 cycles, one
+// synapse bit per cycle). The configuration axes are:
+//
+//   - Lanes (L): wavelengths per OMAC; the ensemble of L OMACs executes
+//     L^2 MAC streams concurrently (Figure 2).
+//   - Bits/lane (B): how many bit slots each wavelength carries per
+//     burst. B > P0 packs B/P0 operands per lane per burst (more
+//     parallelism from the same photonics); B < P0 spreads one operand
+//     over several bursts.
+//
+// This reading of "bits/lane" reproduces the paper's observed shapes:
+// EE latency falls monotonically with B while its energy grows (wider
+// electrical datapaths, superlinear wiring); the optical designs' energy
+// per bit stays nearly flat in B (device count depends on L, not B) and
+// their latency is U-shaped (bursts longer than the 10 GHz-per-
+// electrical-cycle window need extra sub-bursts and deeper
+// deserialization).
+package arch
+
+import (
+	"fmt"
+
+	"pixel/internal/elec"
+	"pixel/internal/phy"
+)
+
+// Design selects the accelerator implementation.
+type Design int
+
+const (
+	// EE is the all-electrical Stripes baseline.
+	EE Design = iota
+	// OE multiplies optically (MRRs) and accumulates electrically.
+	OE
+	// OO multiplies and accumulates optically (MRRs + MZI chains).
+	OO
+)
+
+// Designs lists all three in presentation order.
+func Designs() []Design { return []Design{EE, OE, OO} }
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	switch d {
+	case EE:
+		return "EE"
+	case OE:
+		return "OE"
+	case OO:
+		return "OO"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// NativePrecision is the fixed operand precision P0 [bits] of one MAC
+// operation. The paper's STR discipline serializes the synapse at this
+// precision regardless of the lane burst width.
+const NativePrecision = 8
+
+// Config is one design point.
+type Config struct {
+	Design Design
+	// Lanes is L, the wavelength/lane count.
+	Lanes int
+	// Bits is B, the bits per lane (burst width).
+	Bits int
+	// Tech is the electrical technology model.
+	Tech elec.Tech
+	// Cal holds the calibration constants; zero value means DefaultCal.
+	Cal *Calibration
+}
+
+// NewConfig returns a validated configuration with default technology
+// and calibration.
+func NewConfig(d Design, lanes, bits int) (Config, error) {
+	c := Config{Design: d, Lanes: lanes, Bits: bits, Tech: elec.Bulk22LVT(), Cal: DefaultCal()}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// MustConfig is NewConfig that panics on error, for tests and tables of
+// known-good sweep points.
+func MustConfig(d Design, lanes, bits int) Config {
+	c, err := NewConfig(d, lanes, bits)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate reports an error for unusable configurations.
+func (c Config) Validate() error {
+	switch c.Design {
+	case EE, OE, OO:
+	default:
+		return fmt.Errorf("arch: unknown design %d", int(c.Design))
+	}
+	if c.Lanes < 1 || c.Lanes > 64 {
+		return fmt.Errorf("arch: lanes %d out of range [1,64]", c.Lanes)
+	}
+	if c.Bits < 1 || c.Bits > 64 {
+		return fmt.Errorf("arch: bits/lane %d out of range [1,64]", c.Bits)
+	}
+	if err := c.Tech.Validate(); err != nil {
+		return err
+	}
+	if c.Cal == nil {
+		return fmt.Errorf("arch: nil calibration (use NewConfig)")
+	}
+	return c.Cal.Validate()
+}
+
+// OperandsPerBurst returns B/P0: how many native-precision operands one
+// lane carries per burst (may be fractional below 1).
+func (c Config) OperandsPerBurst() float64 {
+	return float64(c.Bits) / NativePrecision
+}
+
+// ConcurrentOps returns the number of native MAC operations in flight
+// per round: L^2 streams x operands per burst.
+func (c Config) ConcurrentOps() float64 {
+	return float64(c.Lanes*c.Lanes) * c.OperandsPerBurst()
+}
+
+// AccumulatorWidth returns the width of one per-operand electrical
+// accumulator: 2*P0 product bits, window-growth headroom for the L^2
+// concurrent streams, and merge headroom for the operands packed per
+// burst. (Bursts wider than the native precision are accumulated by
+// parallel native-width units plus a merge tree, not one monolithic
+// wide CLA.)
+func (c Config) AccumulatorWidth() int {
+	w := 2*NativePrecision + phy.Log2Ceil(c.Lanes*c.Lanes)
+	if opb := c.Bits / NativePrecision; opb > 1 {
+		w += phy.Log2Ceil(opb)
+	}
+	return w
+}

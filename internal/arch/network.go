@@ -1,0 +1,91 @@
+package arch
+
+import (
+	"fmt"
+
+	"pixel/internal/cnn"
+)
+
+// LayerCost is the energy and latency of one network layer under a
+// configuration.
+type LayerCost struct {
+	Layer   string
+	Energy  Breakdown // [J]
+	Latency float64   // [s]
+	Rounds  float64
+}
+
+// LayerEnergy returns the energy breakdown of executing a layer's
+// operations: per-op costs scaled by the layer's operation counts
+// (multiplies drive the mul/o-e/comm/laser categories, adds the
+// accumulation, activations the tanh unit).
+func LayerEnergy(counts cnn.Counts, cfg Config) Breakdown {
+	per := PerOp(cfg)
+	return Breakdown{
+		Mul:   counts.Mul * per.Mul,
+		Add:   counts.Add * per.Add,
+		Act:   counts.Act * per.Act,
+		OtoE:  counts.Mul * per.OtoE,
+		Comm:  counts.Mul * per.Comm,
+		Laser: counts.Mul * per.Laser,
+	}
+}
+
+// LayerLatency returns the execution time [s] of a layer: the rounds
+// needed to stream its multiplies through the ensemble times the round
+// time.
+func LayerLatency(counts cnn.Counts, cfg Config) (latency float64, rounds float64) {
+	rounds = counts.Mul / cfg.ConcurrentOps()
+	if rounds < 1 && counts.Mul > 0 {
+		rounds = 1
+	}
+	return rounds * RoundTime(cfg), rounds
+}
+
+// CostLayer prices one layer.
+func CostLayer(l cnn.Layer, cfg Config) LayerCost {
+	counts := l.Counts(cnn.ModePaper)
+	lat, rounds := LayerLatency(counts, cfg)
+	return LayerCost{
+		Layer:   l.Name,
+		Energy:  LayerEnergy(counts, cfg),
+		Latency: lat,
+		Rounds:  rounds,
+	}
+}
+
+// NetworkCost is the full-inference cost of a network under a
+// configuration.
+type NetworkCost struct {
+	Network string
+	Config  Config
+	Layers  []LayerCost
+	Energy  Breakdown // [J], summed
+	Latency float64   // [s], summed
+}
+
+// EDP returns the energy-delay product [J*s] of the inference.
+func (n NetworkCost) EDP() float64 {
+	return n.Energy.Total() * n.Latency
+}
+
+// CostNetwork prices a whole network inference.
+func CostNetwork(net cnn.Network, cfg Config) (NetworkCost, error) {
+	if err := cfg.Validate(); err != nil {
+		return NetworkCost{}, err
+	}
+	if err := net.Validate(); err != nil {
+		return NetworkCost{}, err
+	}
+	out := NetworkCost{Network: net.Name, Config: cfg}
+	for _, l := range net.Layers {
+		lc := CostLayer(l, cfg)
+		out.Layers = append(out.Layers, lc)
+		out.Energy = out.Energy.Plus(lc.Energy)
+		out.Latency += lc.Latency
+	}
+	if out.Latency <= 0 || out.Energy.Total() <= 0 {
+		return NetworkCost{}, fmt.Errorf("arch: degenerate cost for %s under %v", net.Name, cfg.Design)
+	}
+	return out, nil
+}

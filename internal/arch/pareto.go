@@ -1,0 +1,74 @@
+package arch
+
+import (
+	"sort"
+
+	"pixel/internal/cnn"
+)
+
+// DesignPoint couples a configuration with its energy/latency cost for
+// Pareto analysis over the (lanes, bits) design space.
+type DesignPoint struct {
+	Design   Design
+	Lanes    int
+	Bits     int
+	EnergyJ  float64
+	LatencyS float64
+}
+
+// dominates reports whether a is at least as good as b on both axes
+// and strictly better on one.
+func (a DesignPoint) dominates(b DesignPoint) bool {
+	if a.EnergyJ > b.EnergyJ || a.LatencyS > b.LatencyS {
+		return false
+	}
+	return a.EnergyJ < b.EnergyJ || a.LatencyS < b.LatencyS
+}
+
+// ParetoFrontier evaluates the network over every (design, lanes,
+// bits) combination and returns the energy/latency-Pareto-optimal
+// points, sorted by ascending energy.
+func ParetoFrontier(net cnn.Network, designs []Design, lanesAxis, bitsAxis []int) ([]DesignPoint, error) {
+	var all []DesignPoint
+	for _, d := range designs {
+		for _, lanes := range lanesAxis {
+			for _, bits := range bitsAxis {
+				cfg, err := NewConfig(d, lanes, bits)
+				if err != nil {
+					return nil, err
+				}
+				c, err := CostNetwork(net, cfg)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, DesignPoint{
+					Design:   d,
+					Lanes:    lanes,
+					Bits:     bits,
+					EnergyJ:  c.Energy.Total(),
+					LatencyS: c.Latency,
+				})
+			}
+		}
+	}
+	var frontier []DesignPoint
+	for _, p := range all {
+		dominated := false
+		for _, q := range all {
+			if q.dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		if frontier[i].EnergyJ != frontier[j].EnergyJ {
+			return frontier[i].EnergyJ < frontier[j].EnergyJ
+		}
+		return frontier[i].LatencyS < frontier[j].LatencyS
+	})
+	return frontier, nil
+}

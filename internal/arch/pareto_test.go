@@ -1,0 +1,76 @@
+package arch
+
+import (
+	"testing"
+
+	"pixel/internal/cnn"
+)
+
+func TestParetoFrontierProperties(t *testing.T) {
+	frontier, err := ParetoFrontier(cnn.AlexNet(), Designs(), []int{4, 8}, []int{4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) == 0 {
+		t.Fatal("frontier must not be empty")
+	}
+	// Sorted by energy; latency must be non-increasing along a Pareto
+	// frontier.
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].EnergyJ < frontier[i-1].EnergyJ {
+			t.Fatal("frontier not sorted by energy")
+		}
+		if frontier[i].LatencyS > frontier[i-1].LatencyS {
+			t.Errorf("frontier point %d has worse latency AND worse energy", i)
+		}
+	}
+	// No frontier point dominates another.
+	for i, p := range frontier {
+		for j, q := range frontier {
+			if i != j && p.dominates(q) {
+				t.Errorf("frontier point %d dominates %d", i, j)
+			}
+		}
+	}
+}
+
+func TestParetoFrontierExcludesDominated(t *testing.T) {
+	// EE at the headline point is strictly dominated by OO (worse
+	// energy, comparable-or-worse EDP); it must not appear on the
+	// frontier when OO is swept too.
+	frontier, err := ParetoFrontier(cnn.LeNet(), Designs(), []int{4}, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range frontier {
+		if p.Design == EE {
+			// EE could only survive by being fastest; verify it is.
+			for _, q := range frontier {
+				if q.Design != EE && q.LatencyS <= p.LatencyS {
+					t.Error("EE survived the frontier without a latency edge")
+				}
+			}
+		}
+	}
+}
+
+func TestParetoFrontierPropagatesErrors(t *testing.T) {
+	if _, err := ParetoFrontier(cnn.LeNet(), Designs(), []int{0}, []int{8}); err == nil {
+		t.Error("invalid axis should error")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := DesignPoint{EnergyJ: 1, LatencyS: 1}
+	b := DesignPoint{EnergyJ: 2, LatencyS: 2}
+	c := DesignPoint{EnergyJ: 1, LatencyS: 2}
+	if !a.dominates(b) || b.dominates(a) {
+		t.Error("strict domination wrong")
+	}
+	if !a.dominates(c) || c.dominates(a) {
+		t.Error("one-axis domination wrong")
+	}
+	if a.dominates(a) {
+		t.Error("a point must not dominate itself")
+	}
+}

@@ -1,0 +1,104 @@
+package arch
+
+import (
+	"fmt"
+
+	"pixel/internal/cnn"
+	"pixel/internal/elec"
+	"pixel/internal/thermal"
+)
+
+// PowerBudget is the chip-level power view of a design point running a
+// network: the average dynamic draw split by component, plus the static
+// floor (ring tuning, SRAM leakage, logic leakage, laser idle) that is
+// burned whether or not useful work flows — the figure of merit a
+// deployment actually provisions for.
+type PowerBudget struct {
+	Network string
+	Config  Config
+
+	// DynamicW is the average dynamic power while inferring [W],
+	// itemized like the energy breakdown.
+	DynamicW Breakdown
+	// TuningW is the static MRR thermal-tuning power [W].
+	TuningW float64
+	// SRAMLeakW is the weight register files' static power [W].
+	SRAMLeakW float64
+	// LogicLeakW is the electrical logic leakage [W].
+	LogicLeakW float64
+	// LaserIdleW is the laser's wall-plug draw [W] (on-chip lasers run
+	// continuously during a layer; this is the same figure the laser
+	// energy column integrates).
+	LaserIdleW float64
+}
+
+// TotalStaticW returns the static floor [W].
+func (p PowerBudget) TotalStaticW() float64 {
+	return p.TuningW + p.SRAMLeakW + p.LogicLeakW
+}
+
+// TotalW returns the provisioning figure: dynamic average plus the
+// static floor.
+func (p PowerBudget) TotalW() float64 {
+	return p.DynamicW.Total() + p.TotalStaticW()
+}
+
+// Power computes the budget for a network at a design point. The
+// static terms use the device census, a thermal bank at the default
+// ring model holding a 10 K bias, and a per-stream weight register
+// file sized for the configuration.
+func Power(net cnn.Network, cfg Config) (PowerBudget, error) {
+	c, err := CostNetwork(net, cfg)
+	if err != nil {
+		return PowerBudget{}, err
+	}
+	out := PowerBudget{Network: net.Name, Config: cfg}
+	out.DynamicW = c.Energy.Scale(1 / c.Latency)
+
+	census := DeviceCensus(cfg)
+
+	// Ring tuning: athermal-assisted rings need only a residual trim;
+	// the calibration's MRRTuningPower is the per-ring figure.
+	out.TuningW = float64(census.TotalRings()) * cfg.Cal.MRRTuningPower
+
+	// One weight RF per accumulator stream, lanes x lanes elements at
+	// native precision (the Figure 3 "RF" block).
+	if census.Accumulators > 0 {
+		rf, err := elec.WeightRF(cfg.Lanes, cfg.Lanes, NativePrecision, false)
+		if err != nil {
+			return PowerBudget{}, err
+		}
+		out.SRAMLeakW = float64(census.Accumulators) * rf.Leakage()
+	}
+
+	// Logic leakage from the accumulators and activation units.
+	w := cfg.AccumulatorWidth()
+	logic := elec.Accumulator(w).Scale(census.Accumulators).
+		Add(elec.TanhUnitGates(w).Scale(census.ActUnits))
+	out.LogicLeakW = logic.Leakage(cfg.Tech)
+
+	// Laser: per-wavelength launch at the design's budgeted power for
+	// every wavelength of the ensemble.
+	switch cfg.Design {
+	case OE:
+		out.LaserIdleW = cfg.Cal.OELaunchPower * float64(cfg.Lanes*cfg.Lanes) / cfg.Cal.LaserWallPlug
+	case OO:
+		out.LaserIdleW = cfg.Cal.OOLaunchPower * float64(cfg.Lanes*cfg.Lanes) / cfg.Cal.LaserWallPlug
+	}
+	return out, nil
+}
+
+// ThermalFeasible checks the tuning budget against a hold requirement:
+// whether the census's rings can hold the given fabrication bias at
+// the ambient offset within the default heater authority.
+func ThermalFeasible(cfg Config, biasKelvin, ambientOffset float64) error {
+	census := DeviceCensus(cfg)
+	if census.TotalRings() == 0 {
+		return nil
+	}
+	_, err := thermal.BankTuningPower(thermal.DefaultRingModel(), census.TotalRings(), biasKelvin, ambientOffset)
+	if err != nil {
+		return fmt.Errorf("arch: %v", err)
+	}
+	return nil
+}

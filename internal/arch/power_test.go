@@ -1,0 +1,90 @@
+package arch
+
+import (
+	"testing"
+
+	"pixel/internal/cnn"
+)
+
+func TestPowerBudgetStructure(t *testing.T) {
+	for _, d := range Designs() {
+		cfg := MustConfig(d, 4, 8)
+		p, err := Power(cnn.AlexNet(), cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if p.DynamicW.Total() <= 0 {
+			t.Errorf("%v: dynamic power must be positive", d)
+		}
+		if p.LogicLeakW <= 0 {
+			t.Errorf("%v: logic leakage must be positive", d)
+		}
+		if p.TotalW() != p.DynamicW.Total()+p.TotalStaticW() {
+			t.Errorf("%v: total identity violated", d)
+		}
+		switch d {
+		case EE:
+			if p.TuningW != 0 || p.LaserIdleW != 0 {
+				t.Error("EE has no rings or laser")
+			}
+		default:
+			if p.TuningW <= 0 || p.LaserIdleW <= 0 {
+				t.Errorf("%v: optical static terms must be positive", d)
+			}
+		}
+	}
+}
+
+func TestPowerOOLaserAboveOE(t *testing.T) {
+	oe, err := Power(cnn.LeNet(), MustConfig(OE, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oo, err := Power(cnn.LeNet(), MustConfig(OO, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oo.LaserIdleW <= oe.LaserIdleW {
+		t.Error("OO laser draw should exceed OE's")
+	}
+}
+
+func TestPowerDynamicMatchesEnergyOverLatency(t *testing.T) {
+	cfg := MustConfig(OO, 4, 16)
+	c, err := CostNetwork(cnn.ZFNet(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Power(cnn.ZFNet(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Energy.Total() / c.Latency
+	got := p.DynamicW.Total()
+	if d := (got - want) / want; d > 1e-9 || d < -1e-9 {
+		t.Errorf("dynamic power %v != energy/latency %v", got, want)
+	}
+}
+
+func TestPowerRejectsInvalid(t *testing.T) {
+	cfg := MustConfig(EE, 4, 8)
+	cfg.Bits = 0
+	if _, err := Power(cnn.LeNet(), cfg); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestThermalFeasible(t *testing.T) {
+	cfg := MustConfig(OE, 4, 8)
+	if err := ThermalFeasible(cfg, 10, 0); err != nil {
+		t.Errorf("nominal bias should be feasible: %v", err)
+	}
+	// Holding a 100 K bias exceeds the heater authority.
+	if err := ThermalFeasible(cfg, 100, 0); err == nil {
+		t.Error("out-of-authority bias should be reported")
+	}
+	// EE has no rings: always feasible.
+	if err := ThermalFeasible(MustConfig(EE, 4, 8), 1000, 0); err != nil {
+		t.Errorf("EE should be trivially feasible: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+package bitserial
+
+import "testing"
+
+func BenchmarkMultiply8Bit(b *testing.B) {
+	e, err := NewEngine(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Multiply(uint64(i)&255, uint64(i>>8)&255); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDotProduct16x8Bit(b *testing.B) {
+	e, err := NewEngine(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ns := make([]uint64, 16)
+	ss := make([]uint64, 16)
+	for i := range ns {
+		ns[i] = uint64(i * 7 % 256)
+		ss[i] = uint64(i * 13 % 256)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.DotProduct(ns, ss); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignedDotProduct(b *testing.B) {
+	e, err := NewSignedEngine(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ns := make([]int64, 16)
+	ss := make([]int64, 16)
+	for i := range ns {
+		ns[i] = int64(i*7%200) - 100
+		ss[i] = int64(i*13%200) - 100
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.DotProduct(ns, ss); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package cnn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOutputSizeEq11(t *testing.T) {
+	cases := []struct {
+		l    Layer
+		want int
+	}{
+		// VGG-style same-padded 3x3.
+		{conv("x", 224, 3, 1, 3, 1, 64), 224},
+		// AlexNet Conv1: (227-11+4)/4 = 55.
+		{conv("x", 227, 3, 0, 11, 4, 96), 55},
+		// ZFNet Conv1: (226-7+2)/2 = 110.
+		{conv("x", 224, 3, 1, 7, 2, 96), 110},
+		// LeNet Conv1: 32-5+1 = 28.
+		{conv("x", 32, 1, 0, 5, 1, 6), 28},
+		// ResNet Conv1: (230-7+2)/2 = 112.
+		{conv("x", 224, 3, 3, 7, 2, 64), 112},
+	}
+	for _, c := range cases {
+		if got := c.l.OutputSize(); got != c.want {
+			t.Errorf("%+v: OutputSize = %d, want %d", c.l, got, c.want)
+		}
+	}
+}
+
+// bruteForceWindows counts the positions a kernel of size R fits in a
+// padded 1-D extent of size H+2P with stride U — the independent oracle
+// for Eq. 11.
+func bruteForceWindows(h, pad, r, u int) int {
+	extent := h + 2*pad
+	count := 0
+	for start := 0; start+r <= extent; start += u {
+		count++
+	}
+	return count
+}
+
+func TestOutputSizeMatchesBruteForce(t *testing.T) {
+	f := func(hRaw, padRaw, rRaw, uRaw uint8) bool {
+		h := int(hRaw)%64 + 8
+		pad := int(padRaw) % 4
+		r := int(rRaw)%5 + 1
+		u := int(uRaw)%3 + 1
+		if h+2*pad < r {
+			return true
+		}
+		l := conv("t", h, 1, pad, r, u, 1)
+		return l.OutputSize() == bruteForceWindows(h, pad, r, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerValidate(t *testing.T) {
+	good := conv("ok", 8, 3, 1, 3, 1, 4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Layer{
+		conv("b1", 0, 3, 1, 3, 1, 4),     // no input
+		conv("b2", 8, 3, 1, 0, 1, 4),     // no kernel
+		conv("b3", 8, 3, -1, 3, 1, 4),    // negative pad
+		conv("b4", 2, 3, 0, 5, 1, 4),     // kernel larger than input
+		fc("b5", 0, 10),                  // no FC input
+		{Name: "b6", Type: LayerType(9)}, // unknown type
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s should fail validation", l.Name)
+		}
+	}
+}
+
+func TestCountsConvFormulas(t *testing.T) {
+	// The paper's worked example: VGG16 Conv1.
+	l := conv("Conv1", 224, 3, 1, 3, 1, 64)
+	c := l.Counts(ModePaper)
+	if c.MVM != 9633792 {
+		t.Errorf("N_MVM = %v, want 9633792", c.MVM)
+	}
+	if c.Mul != 86704128 {
+		t.Errorf("N_mul = %v, want 86704128", c.Mul)
+	}
+	wantAct := 224.0 * 224 * 64
+	if c.Act != wantAct {
+		t.Errorf("N_act = %v, want %v", c.Act, wantAct)
+	}
+	if c.Add != c.Mul+wantAct {
+		t.Errorf("N_add = %v, want %v", c.Add, c.Mul+wantAct)
+	}
+	// Conv counts are mode-independent.
+	if c != l.Counts(ModeExact) {
+		t.Error("conv counts should not depend on mode")
+	}
+}
+
+func TestCountsFCModes(t *testing.T) {
+	l := fc("FC2", 4096, 4096)
+	p := l.Counts(ModePaper)
+	if p.Mul != 4096*4096 || p.Add != 2*4096*4096 || p.Act != 4096*4096 || p.MVM != 1 {
+		t.Errorf("paper-mode FC counts wrong: %+v", p)
+	}
+	l2 := fc("FC3", 4096, 1000)
+	e := l2.Counts(ModeExact)
+	if e.Mul != 4096*1000 {
+		t.Errorf("exact-mode FC mul = %v, want %v", e.Mul, 4096*1000)
+	}
+	if e.Act != 1000 {
+		t.Errorf("exact-mode FC act = %v, want 1000", e.Act)
+	}
+	// The paper-mode FC3 row uses In^2 (the printed 16.8M), not In*Out.
+	p3 := l2.Counts(ModePaper)
+	if p3.Mul != 4096*4096 {
+		t.Errorf("paper-mode FC3 mul = %v, want 4096^2", p3.Mul)
+	}
+}
+
+func TestCountsPlusCombines(t *testing.T) {
+	a := Counts{1, 2, 3, 4}
+	b := Counts{10, 20, 30, 40}
+	got := a.Plus(b)
+	want := Counts{11, 22, 33, 44}
+	if got != want {
+		t.Errorf("Plus = %+v", got)
+	}
+}
+
+func TestLayerTypeString(t *testing.T) {
+	if Conv.String() != "conv" || FC.String() != "fc" {
+		t.Error("LayerType strings wrong")
+	}
+	if LayerType(7).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+func TestInputShapeStrings(t *testing.T) {
+	if got := conv("x", 224, 64, 1, 3, 1, 64).InputShape(); got != "[226,226,64]" {
+		t.Errorf("InputShape = %q", got)
+	}
+	if got := fc("x", 25088, 4096).InputShape(); got != "[25088]" {
+		t.Errorf("FC InputShape = %q", got)
+	}
+}
+
+func almostMillions(got float64, wantMillions float64, tolFrac float64) bool {
+	return math.Abs(got/1e6-wantMillions) <= tolFrac*wantMillions
+}

@@ -1,0 +1,53 @@
+package cnn
+
+// Parameter (weight) counting — the storage side of the workload, used
+// by the mapper's preload model and the memory sizing.
+
+// Params returns the layer's learnable parameter count (weights plus
+// one bias per filter/output).
+func (l Layer) Params() int64 {
+	switch l.Type {
+	case Conv:
+		return int64(l.M)*int64(l.R)*int64(l.R)*int64(l.C) + int64(l.M)
+	case FC:
+		return int64(l.In)*int64(l.Out) + int64(l.Out)
+	default:
+		return 0
+	}
+}
+
+// WeightBits returns the layer's weight storage at the given precision
+// [bits], excluding biases (which stay at accumulator precision in the
+// tiles).
+func (l Layer) WeightBits(precision int) int64 {
+	if precision < 1 {
+		panic("cnn: non-positive precision")
+	}
+	switch l.Type {
+	case Conv:
+		return int64(l.M) * int64(l.R) * int64(l.R) * int64(l.C) * int64(precision)
+	case FC:
+		return int64(l.In) * int64(l.Out) * int64(precision)
+	default:
+		return 0
+	}
+}
+
+// Params returns the network's total parameter count.
+func (n Network) Params() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.Params()
+	}
+	return total
+}
+
+// WeightBits returns the network's total weight storage at the given
+// precision [bits].
+func (n Network) WeightBits(precision int) int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.WeightBits(precision)
+	}
+	return total
+}

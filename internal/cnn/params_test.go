@@ -1,0 +1,75 @@
+package cnn
+
+import "testing"
+
+func TestLeNetParamsCanonical(t *testing.T) {
+	// LeNet-5's canonical parameter count with biases: conv1 156,
+	// conv2 2416, fc1 48120, fc2 10164, fc3 850 = 61,706.
+	net := LeNet()
+	perLayer := []int64{156, 2416, 48120, 10164, 850}
+	for i, want := range perLayer {
+		if got := net.Layers[i].Params(); got != want {
+			t.Errorf("%s params = %d, want %d", net.Layers[i].Name, got, want)
+		}
+	}
+	if got := net.Params(); got != 61706 {
+		t.Errorf("LeNet params = %d, want 61706", got)
+	}
+}
+
+func TestVGG16ParamsClass(t *testing.T) {
+	// The paper's 10-conv VGG variant (VGG-13 conv structure) carries
+	// ~133M parameters (9.4M conv + 124M FC).
+	got := VGG16().Params()
+	if got < 130e6 || got > 136e6 {
+		t.Errorf("VGG16 params = %d, want ~133M", got)
+	}
+}
+
+func TestAlexNetParamsClass(t *testing.T) {
+	// Single-tower AlexNet: ~62M (the grouped two-GPU original is 61M).
+	got := AlexNet().Params()
+	if got < 58e6 || got > 66e6 {
+		t.Errorf("AlexNet params = %d, want ~62M", got)
+	}
+}
+
+func TestResNet34ParamsClass(t *testing.T) {
+	// ResNet-34 is ~21.8M parameters.
+	got := ResNet34().Params()
+	if got < 20e6 || got > 24e6 {
+		t.Errorf("ResNet-34 params = %d, want ~21.8M", got)
+	}
+}
+
+func TestGoogLeNetParamsClass(t *testing.T) {
+	// Inception-v1 is famously small: ~7M (6.6M weights + aux heads we
+	// don't model).
+	got := GoogLeNet().Params()
+	if got < 5.5e6 || got > 8e6 {
+		t.Errorf("GoogLeNet params = %d, want ~7M", got)
+	}
+}
+
+func TestWeightBitsScalesWithPrecision(t *testing.T) {
+	net := LeNet()
+	b8 := net.WeightBits(8)
+	b4 := net.WeightBits(4)
+	if b8 != 2*b4 {
+		t.Errorf("weight bits must scale linearly: %d vs %d", b8, b4)
+	}
+	// Weight bits exclude biases: 61706 params - 236 biases = 61470
+	// weights; at 8 bits that is 491,760 bits.
+	if b8 != 61470*8 {
+		t.Errorf("LeNet 8-bit weights = %d, want %d", b8, 61470*8)
+	}
+}
+
+func TestWeightBitsPanicsOnBadPrecision(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LeNet().Layers[0].WeightBits(0)
+}

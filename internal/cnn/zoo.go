@@ -1,0 +1,193 @@
+package cnn
+
+import "fmt"
+
+// Builders for the six CNN architectures of the paper's evaluation.
+// Pooling layers carry no MACs and are represented only through the
+// reduced input sizes of the layers that follow them, matching the
+// paper's accounting.
+
+func conv(name string, h, c, pad, r, u, m int) Layer {
+	return Layer{Name: name, Type: Conv, H: h, W: h, C: c, Pad: pad, R: r, U: u, M: m}
+}
+
+func fc(name string, in, out int) Layer {
+	return Layer{Name: name, Type: FC, In: in, Out: out}
+}
+
+// VGG16 returns the VGG16 model exactly as the paper's Table I
+// parameterizes it: ten convolution rows (the paper folds the
+// three-conv blocks of the canonical VGG16 into two rows each, giving
+// the VGG-13 convolution structure) and three fully-connected layers.
+func VGG16() Network {
+	return Network{
+		Name: "VGG16",
+		Layers: []Layer{
+			conv("Conv1", 224, 3, 1, 3, 1, 64),
+			conv("Conv2", 224, 64, 1, 3, 1, 64),
+			conv("Conv3", 112, 64, 1, 3, 1, 128),
+			conv("Conv4", 112, 128, 1, 3, 1, 128),
+			conv("Conv5", 56, 128, 1, 3, 1, 256),
+			conv("Conv6", 56, 256, 1, 3, 1, 256),
+			conv("Conv7", 28, 256, 1, 3, 1, 512),
+			conv("Conv8", 28, 512, 1, 3, 1, 512),
+			conv("Conv9", 14, 512, 1, 3, 1, 512),
+			conv("Conv10", 14, 512, 1, 3, 1, 512),
+			fc("FC1", 25088, 4096),
+			fc("FC2", 4096, 4096),
+			fc("FC3", 4096, 1000),
+		},
+	}
+}
+
+// AlexNet returns the canonical single-tower AlexNet.
+func AlexNet() Network {
+	return Network{
+		Name: "AlexNet",
+		Layers: []Layer{
+			conv("Conv1", 227, 3, 0, 11, 4, 96),
+			conv("Conv2", 27, 96, 2, 5, 1, 256),
+			conv("Conv3", 13, 256, 1, 3, 1, 384),
+			conv("Conv4", 13, 384, 1, 3, 1, 384),
+			conv("Conv5", 13, 384, 1, 3, 1, 256),
+			fc("FC1", 9216, 4096),
+			fc("FC2", 4096, 4096),
+			fc("FC3", 4096, 1000),
+		},
+	}
+}
+
+// ZFNet returns ZFNet (Zeiler & Fergus): AlexNet with a 7x7/2 first
+// layer and 5x5/2 second layer.
+func ZFNet() Network {
+	return Network{
+		Name: "ZFNet",
+		Layers: []Layer{
+			conv("Conv1", 224, 3, 1, 7, 2, 96),
+			conv("Conv2", 55, 96, 0, 5, 2, 256),
+			conv("Conv3", 13, 256, 1, 3, 1, 384),
+			conv("Conv4", 13, 384, 1, 3, 1, 384),
+			conv("Conv5", 13, 384, 1, 3, 1, 256),
+			fc("FC1", 9216, 4096),
+			fc("FC2", 4096, 4096),
+			fc("FC3", 4096, 1000),
+		},
+	}
+}
+
+// LeNet returns LeNet-5 on 32x32 single-channel input.
+func LeNet() Network {
+	return Network{
+		Name: "LeNet",
+		Layers: []Layer{
+			conv("Conv1", 32, 1, 0, 5, 1, 6),
+			conv("Conv2", 14, 6, 0, 5, 1, 16),
+			fc("FC1", 400, 120),
+			fc("FC2", 120, 84),
+			fc("FC3", 84, 10),
+		},
+	}
+}
+
+// ResNet34 returns ResNet-34 with projection shortcuts at the stage
+// boundaries (the 1x1 stride-2 downsample convolutions are included in
+// the op counts).
+func ResNet34() Network {
+	layers := []Layer{
+		conv("Conv1", 224, 3, 3, 7, 2, 64),
+	}
+	idx := 2
+	stage := func(size, inC, outC, blocks int) {
+		for b := 0; b < blocks; b++ {
+			c := outC
+			stride := 1
+			h := size
+			if b == 0 && inC != outC {
+				// First block of a new stage: stride-2 3x3 from the
+				// previous stage's channels, plus the 1x1 projection.
+				layers = append(layers, conv(fmt.Sprintf("Conv%d", idx), size*2, inC, 1, 3, 2, outC))
+				idx++
+				layers = append(layers, conv(fmt.Sprintf("Conv%d-proj", idx-1), size*2, inC, 0, 1, 2, outC))
+				layers = append(layers, conv(fmt.Sprintf("Conv%d", idx), size, outC, 1, 3, 1, outC))
+				idx++
+				continue
+			}
+			layers = append(layers,
+				conv(fmt.Sprintf("Conv%d", idx), h, c, 1, 3, stride, outC))
+			idx++
+			layers = append(layers,
+				conv(fmt.Sprintf("Conv%d", idx), h, outC, 1, 3, 1, outC))
+			idx++
+		}
+	}
+	stage(56, 64, 64, 3)
+	stage(28, 64, 128, 4)
+	stage(14, 128, 256, 6)
+	stage(7, 256, 512, 3)
+	layers = append(layers, fc("FC1", 512, 1000))
+	return Network{Name: "ResNet-34", Layers: layers}
+}
+
+// inceptionParams parameterizes one GoogLeNet inception module.
+type inceptionParams struct {
+	name                      string
+	size, in                  int
+	c1, r3, c3, r5, c5, pproj int
+}
+
+func (p inceptionParams) layers() []Layer {
+	return []Layer{
+		conv(p.name+"/1x1", p.size, p.in, 0, 1, 1, p.c1),
+		conv(p.name+"/3x3r", p.size, p.in, 0, 1, 1, p.r3),
+		conv(p.name+"/3x3", p.size, p.r3, 1, 3, 1, p.c3),
+		conv(p.name+"/5x5r", p.size, p.in, 0, 1, 1, p.r5),
+		conv(p.name+"/5x5", p.size, p.r5, 2, 5, 1, p.c5),
+		conv(p.name+"/pool", p.size, p.in, 0, 1, 1, p.pproj),
+	}
+}
+
+// GoogLeNet returns Inception-v1 with all nine inception modules.
+func GoogLeNet() Network {
+	layers := []Layer{
+		conv("Conv1", 224, 3, 3, 7, 2, 64),
+		conv("Conv2r", 56, 64, 0, 1, 1, 64),
+		conv("Conv2", 56, 64, 1, 3, 1, 192),
+	}
+	modules := []inceptionParams{
+		{"Inc3a", 28, 192, 64, 96, 128, 16, 32, 32},
+		{"Inc3b", 28, 256, 128, 128, 192, 32, 96, 64},
+		{"Inc4a", 14, 480, 192, 96, 208, 16, 48, 64},
+		{"Inc4b", 14, 512, 160, 112, 224, 24, 64, 64},
+		{"Inc4c", 14, 512, 128, 128, 256, 24, 64, 64},
+		{"Inc4d", 14, 512, 112, 144, 288, 32, 64, 64},
+		{"Inc4e", 14, 528, 256, 160, 320, 32, 128, 128},
+		{"Inc5a", 7, 832, 256, 160, 320, 32, 128, 128},
+		{"Inc5b", 7, 832, 384, 192, 384, 48, 128, 128},
+	}
+	for _, m := range modules {
+		layers = append(layers, m.layers()...)
+	}
+	layers = append(layers, fc("FC1", 1024, 1000))
+	return Network{Name: "GoogLeNet", Layers: layers}
+}
+
+// All returns the six networks of the paper's evaluation, in the order
+// Figure 7 lists them.
+func All() []Network {
+	return []Network{VGG16(), AlexNet(), ZFNet(), ResNet34(), LeNet(), GoogLeNet()}
+}
+
+// ByName returns the named network (case-sensitive, as produced by the
+// builders) or an error listing the valid names.
+func ByName(name string) (Network, error) {
+	for _, n := range All() {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	valid := make([]string, 0, 6)
+	for _, n := range All() {
+		valid = append(valid, n.Name)
+	}
+	return Network{}, fmt.Errorf("cnn: unknown network %q (valid: %v)", name, valid)
+}

@@ -1,0 +1,102 @@
+package elec
+
+import "fmt"
+
+// Additional activation implementations from the approaches the paper
+// surveys (Section II-B): piecewise-linear sigmoid (PLAN), plain ReLU,
+// and a lookup-table cost model.
+
+// SigmoidUnit is the classic PLAN piecewise-linear sigmoid (Amin et
+// al.), fixed point, maximum error ~0.019:
+//
+//	0    <= x < 1      y = 0.25*x + 0.5
+//	1    <= x < 2.375  y = 0.125*x + 0.625
+//	2.375<= x < 5      y = 0.03125*x + 0.84375
+//	5    <= x          y = 1
+//
+// with sigma(-x) = 1 - sigma(x).
+type SigmoidUnit struct {
+	fracBits int
+	one      int64
+}
+
+// NewSigmoidUnit returns a PLAN sigmoid on Q(x.fracBits) fixed point.
+func NewSigmoidUnit(fracBits int) (*SigmoidUnit, error) {
+	if fracBits < 5 || fracBits > 30 {
+		return nil, fmt.Errorf("elec: sigmoid fracBits %d out of range [5,30]", fracBits)
+	}
+	return &SigmoidUnit{fracBits: fracBits, one: 1 << uint(fracBits)}, nil
+}
+
+// Apply computes the PLAN sigmoid of the fixed-point input using only
+// shifts, adds and comparisons.
+func (u *SigmoidUnit) Apply(x int64) int64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	one := u.one
+	b1 := one
+	b2 := 2*one + (one >> 2) + (one >> 3) // 2.375
+	b3 := 5 * one
+	var y int64
+	switch {
+	case x < b1:
+		y = (x >> 2) + (one >> 1) // x/4 + 0.5
+	case x < b2:
+		y = (x >> 3) + (one >> 1) + (one >> 3) // x/8 + 0.625
+	case x < b3:
+		y = (x >> 5) + (one >> 1) + (one >> 2) + (one >> 4) + (one >> 5) // x/32 + 0.84375
+	default:
+		y = one
+	}
+	if neg {
+		return one - y
+	}
+	return y
+}
+
+// ApplyFloat is the float convenience wrapper.
+func (u *SigmoidUnit) ApplyFloat(x float64) float64 {
+	v := int64(x * float64(u.one))
+	return float64(u.Apply(v)) / float64(u.one)
+}
+
+// SigmoidUnitGates returns the structural cost (same class as the tanh
+// unit: comparators + shift mux + narrow adder).
+func SigmoidUnitGates(width int) GateCount {
+	return TanhUnitGates(width)
+}
+
+// ReLUUnit gates negative values to zero: a sign check and a mux.
+type ReLUUnit struct{}
+
+// Apply implements the activation.
+func (ReLUUnit) Apply(x int64) int64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// ReLUUnitGates returns the structural cost: one mux per bit.
+func ReLUUnitGates(width int) GateCount {
+	if width < 1 {
+		panic("elec.ReLUUnitGates: width must be >= 1")
+	}
+	return GateCount{Gates: 3 * width, Depth: 2}
+}
+
+// LUTActivation prices a lookup-table activation of 2^addrBits entries
+// by dataBits: the ROM/SRAM dominates; it is the area-hungry
+// alternative the paper's survey contrasts with PL approximation.
+func LUTActivation(addrBits, dataBits int) (GateCount, error) {
+	if addrBits < 1 || addrBits > 16 || dataBits < 1 {
+		return GateCount{}, fmt.Errorf("elec: LUT %d/%d out of range", addrBits, dataBits)
+	}
+	entries := 1 << uint(addrBits)
+	// ~1 gate-equivalent per 4 ROM bits plus the decoder.
+	romGates := entries * dataBits / 4
+	decoder := entries / 2
+	return GateCount{Gates: romGates + decoder, Depth: 2 + addrBits/2}, nil
+}

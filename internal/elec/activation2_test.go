@@ -1,0 +1,111 @@
+package elec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSigmoidUnitMaxError(t *testing.T) {
+	u, err := NewSigmoidUnit(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := 0.0
+	for x := -8.0; x <= 8.0; x += 0.001 {
+		got := u.ApplyFloat(x)
+		want := 1 / (1 + math.Exp(-x))
+		if e := math.Abs(got - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	// PLAN's published max error is 0.0189 plus quantization.
+	if maxErr > 0.021 {
+		t.Errorf("max |error| = %v, want <= 0.021", maxErr)
+	}
+}
+
+func TestSigmoidComplementSymmetry(t *testing.T) {
+	u, _ := NewSigmoidUnit(10)
+	one := int64(1 << 10)
+	f := func(raw int16) bool {
+		x := int64(raw)
+		return u.Apply(x)+u.Apply(-x) == one
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmoidBounds(t *testing.T) {
+	u, _ := NewSigmoidUnit(12)
+	one := int64(1 << 12)
+	f := func(raw int32) bool {
+		y := u.Apply(int64(raw))
+		return y >= 0 && y <= one
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if u.Apply(0) != one>>1 {
+		t.Errorf("sigmoid(0) = %d, want %d", u.Apply(0), one>>1)
+	}
+}
+
+func TestNewSigmoidUnitValidation(t *testing.T) {
+	if _, err := NewSigmoidUnit(4); err == nil {
+		t.Error("fracBits 4 should error")
+	}
+	if _, err := NewSigmoidUnit(31); err == nil {
+		t.Error("fracBits 31 should error")
+	}
+}
+
+func TestReLUUnit(t *testing.T) {
+	var r ReLUUnit
+	if r.Apply(-5) != 0 || r.Apply(0) != 0 || r.Apply(7) != 7 {
+		t.Error("ReLU values wrong")
+	}
+	gc := ReLUUnitGates(16)
+	if gc.Gates != 48 || gc.Depth != 2 {
+		t.Errorf("ReLU gates = %+v", gc)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ReLUUnitGates(0)
+}
+
+func TestLUTActivationCost(t *testing.T) {
+	small, err := LUTActivation(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := LUTActivation(12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Gates <= small.Gates {
+		t.Error("bigger LUT must cost more")
+	}
+	// The PL approximations beat LUTs on area — the reason the paper's
+	// chosen design uses them.
+	pl := TanhUnitGates(16)
+	if small.Gates <= pl.Gates {
+		t.Errorf("a 256-entry LUT (%d gates) should exceed the PL unit (%d gates)", small.Gates, pl.Gates)
+	}
+	if _, err := LUTActivation(0, 8); err == nil {
+		t.Error("invalid LUT should error")
+	}
+	if _, err := LUTActivation(17, 8); err == nil {
+		t.Error("oversized LUT should error")
+	}
+}
+
+func TestSigmoidUnitGatesMatchesTanhClass(t *testing.T) {
+	if SigmoidUnitGates(16) != TanhUnitGates(16) {
+		t.Error("PLAN sigmoid and tanh units share the structural cost class")
+	}
+}

@@ -1,0 +1,158 @@
+package elec
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestKoggeStoneMatchesNativeAdd(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 8, 16, 32, 48, 63, 64} {
+		a, err := NewKoggeStoneAdder(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := a.mask
+		f := func(x, y uint64, cin bool) bool {
+			sum, cout := a.Add(x, y, cin)
+			var ci uint64
+			if cin {
+				ci = 1
+			}
+			if w == 64 {
+				want, wantC := bits.Add64(x, y, ci)
+				return sum == want && cout == (wantC == 1)
+			}
+			full := (x & mask) + (y & mask) + ci
+			return sum == full&mask && cout == ((full>>uint(w))&1 == 1)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestKoggeStoneAgreesWithCLA(t *testing.T) {
+	ks, _ := NewKoggeStoneAdder(24)
+	cla, _ := NewCLAAdder(24)
+	f := func(x, y uint64, cin bool) bool {
+		s1, c1 := ks.Add(x, y, cin)
+		s2, c2 := cla.Add(x, y, cin)
+		return s1 == s2 && c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKoggeStoneWidthValidation(t *testing.T) {
+	if _, err := NewKoggeStoneAdder(0); err == nil {
+		t.Error("width 0 should error")
+	}
+	if _, err := NewKoggeStoneAdder(65); err == nil {
+		t.Error("width 65 should error")
+	}
+	a, _ := NewKoggeStoneAdder(16)
+	if a.Width() != 16 {
+		t.Error("Width accessor wrong")
+	}
+}
+
+func TestKoggeStoneShallowerThanCLAAtWidth(t *testing.T) {
+	// The prefix adder's depth is logarithmic; the classified CLA's
+	// Eq. 6 depth grows 4 + 2*ceil(log2(n-1)). From 8 bits up the
+	// prefix network is strictly shallower.
+	for _, n := range []int{8, 16, 32, 64} {
+		if KoggeStoneLogicDepth(n) >= CLALogicDepth(n) {
+			t.Errorf("n=%d: KS depth %d should beat CLA depth %d",
+				n, KoggeStoneLogicDepth(n), CLALogicDepth(n))
+		}
+	}
+	// And it pays in gates at small widths but wins at large widths
+	// vs the cubic CLA formula.
+	if KoggeStoneGateCount(64) >= CLAGateCount(64) {
+		t.Error("KS should use fewer gates than the cubic CLA formula at 64 bits")
+	}
+}
+
+func TestKoggeStonePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { KoggeStoneGateCount(0) },
+		func() { KoggeStoneLogicDepth(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestArrayMultiplierFuncMatchesNative(t *testing.T) {
+	for _, w := range []int{1, 4, 8, 16, 24, 32} {
+		m, err := NewArrayMultiplier(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := m.mask
+		f := func(x, y uint64) bool {
+			x &= mask
+			y &= mask
+			got, err := m.Multiply(x, y)
+			return err == nil && got == x*y
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestArrayMultiplierValidation(t *testing.T) {
+	if _, err := NewArrayMultiplier(0); err == nil {
+		t.Error("width 0 should error")
+	}
+	if _, err := NewArrayMultiplier(33); err == nil {
+		t.Error("width 33 should error")
+	}
+	m, _ := NewArrayMultiplier(8)
+	if _, err := m.Multiply(256, 1); err == nil {
+		t.Error("out-of-range operand should error")
+	}
+}
+
+func TestMultiplierGateModels(t *testing.T) {
+	arr := ArrayMultiplier(8)
+	wal := WallaceMultiplier(8)
+	if arr.Gates <= 0 || wal.Gates <= 0 {
+		t.Fatal("multiplier gates must be positive")
+	}
+	// Wallace trades a (slightly) larger final adder for much less
+	// depth than the linear array.
+	if wal.Depth >= arr.Depth {
+		t.Errorf("Wallace depth %d should beat array depth %d", wal.Depth, arr.Depth)
+	}
+	// Quadratic growth: doubling the width should much more than
+	// double the gates.
+	if ArrayMultiplier(16).Gates <= 3*arr.Gates {
+		t.Errorf("16-bit multiplier (%d gates) should exceed 3x the 8-bit (%d)",
+			ArrayMultiplier(16).Gates, arr.Gates)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ArrayMultiplier(0)
+}
+
+func TestWallacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	WallaceMultiplier(0)
+}

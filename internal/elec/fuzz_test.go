@@ -1,0 +1,63 @@
+package elec
+
+import "testing"
+
+// FuzzAddersAgree cross-checks the two functional adder architectures
+// against each other and the host arithmetic on arbitrary operands.
+func FuzzAddersAgree(f *testing.F) {
+	f.Add(uint64(0), uint64(0), false)
+	f.Add(uint64(1)<<63, uint64(1)<<63, true)
+	f.Add(^uint64(0), uint64(1), false)
+	f.Add(uint64(0xDEADBEEF), uint64(0xFEEDFACE), true)
+	cla, err := NewCLAAdder(48)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ks, err := NewKoggeStoneAdder(48)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mask := uint64(1)<<48 - 1
+	f.Fuzz(func(t *testing.T, x, y uint64, cin bool) {
+		s1, c1 := cla.Add(x, y, cin)
+		s2, c2 := ks.Add(x, y, cin)
+		if s1 != s2 || c1 != c2 {
+			t.Fatalf("adders disagree on %x+%x cin=%v: CLA (%x,%v) KS (%x,%v)",
+				x, y, cin, s1, c1, s2, c2)
+		}
+		var ci uint64
+		if cin {
+			ci = 1
+		}
+		full := (x & mask) + (y & mask) + ci
+		if s1 != full&mask || c1 != ((full>>48)&1 == 1) {
+			t.Fatalf("adders disagree with arithmetic on %x+%x", x, y)
+		}
+	})
+}
+
+// FuzzTanhProperties checks the activation unit's invariants on
+// arbitrary fixed-point inputs: odd symmetry and boundedness.
+func FuzzTanhProperties(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(1) << 20)
+	f.Add(int64(-1) << 20)
+	u, err := NewTanhUnit(12)
+	if err != nil {
+		f.Fatal(err)
+	}
+	one := int64(1) << 12
+	f.Fuzz(func(t *testing.T, x int64) {
+		// Keep |x| away from int64 overflow on negation.
+		if x == -x {
+			return
+		}
+		y := u.Apply(x)
+		if y < -one || y > one {
+			t.Fatalf("tanh(%d) = %d out of [-1,1]", x, y)
+		}
+		if u.Apply(-x) != -y {
+			t.Fatalf("tanh not odd at %d", x)
+		}
+	})
+}

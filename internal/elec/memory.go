@@ -1,0 +1,90 @@
+package elec
+
+import (
+	"fmt"
+
+	"pixel/internal/phy"
+)
+
+// SRAM models the per-tile weight register file of Figure 3 (the "RF
+// for filter weight storage"): a words x width 6T array with decoder
+// and sense amplifiers, priced in the same per-gate terms as the logic.
+type SRAM struct {
+	// Words and Width give the organization.
+	Words, Width int
+	// BitcellArea is the 6T cell footprint [m^2] (~0.1 um^2 at 22 nm
+	// with array overhead).
+	BitcellArea float64
+	// ReadEnergyPerBit / WriteEnergyPerBit are the dynamic access
+	// energies [J/bit] including bitline and sense-amp switching.
+	ReadEnergyPerBit  float64
+	WriteEnergyPerBit float64
+	// LeakagePerBit is the static power per cell [W].
+	LeakagePerBit float64
+}
+
+// NewSRAM returns a 22 nm-class array of the given organization.
+func NewSRAM(words, width int) (*SRAM, error) {
+	if words < 1 || width < 1 {
+		return nil, fmt.Errorf("elec: SRAM organization %dx%d invalid", words, width)
+	}
+	if words*width > 1<<26 {
+		return nil, fmt.Errorf("elec: SRAM %dx%d exceeds the 64 Mb single-array bound", words, width)
+	}
+	return &SRAM{
+		Words:             words,
+		Width:             width,
+		BitcellArea:       0.1 * phy.SquareMicrometer,
+		ReadEnergyPerBit:  2 * phy.Femtojoule,
+		WriteEnergyPerBit: 3 * phy.Femtojoule,
+		LeakagePerBit:     50e-12,
+	}, nil
+}
+
+// Bits returns the capacity in bits.
+func (s *SRAM) Bits() int { return s.Words * s.Width }
+
+// Area returns the array area including decoder/sense overhead [m^2].
+func (s *SRAM) Area() float64 {
+	array := float64(s.Bits()) * s.BitcellArea
+	// Peripheral overhead: decoder (one gate-equivalent per word) and
+	// sense amps (4 per column), at standard-cell density.
+	tech := Bulk22LVT()
+	periph := GateCount{Gates: s.Words + 4*s.Width}.Area(tech)
+	return array + periph
+}
+
+// ReadEnergy returns the energy of one word read [J].
+func (s *SRAM) ReadEnergy() float64 {
+	return float64(s.Width) * s.ReadEnergyPerBit
+}
+
+// WriteEnergy returns the energy of one word write [J].
+func (s *SRAM) WriteEnergy() float64 {
+	return float64(s.Width) * s.WriteEnergyPerBit
+}
+
+// FillEnergy returns the energy to write the entire array [J] — the
+// weight-preload cost the mapper charges per tile.
+func (s *SRAM) FillEnergy() float64 {
+	return float64(s.Words) * s.WriteEnergy()
+}
+
+// Leakage returns the static power of the array [W].
+func (s *SRAM) Leakage() float64 {
+	return float64(s.Bits()) * s.LeakagePerBit
+}
+
+// WeightRF sizes the register file one OMAC tile needs: lanes synapse
+// lanes x elements per lane at the given precision, double-buffered if
+// requested.
+func WeightRF(lanes, elements, bits int, doubleBuffered bool) (*SRAM, error) {
+	if lanes < 1 || elements < 1 || bits < 1 {
+		return nil, fmt.Errorf("elec: weight RF parameters must be positive")
+	}
+	words := lanes * elements
+	if doubleBuffered {
+		words *= 2
+	}
+	return NewSRAM(words, bits)
+}

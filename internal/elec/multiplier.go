@@ -1,0 +1,77 @@
+package elec
+
+import "fmt"
+
+// Bit-parallel multiplier models, for the extension experiment that
+// contrasts the paper's bit-serial (Stripes) discipline against a
+// conventional parallel MAC.
+
+// ArrayMultiplier returns the gate count of an n x n array multiplier:
+// n^2 partial-product AND gates plus (n-1) rows of n-bit carry-save
+// adders (~5 gate-equivalents per full adder) and a final n-bit CLA.
+func ArrayMultiplier(n int) GateCount {
+	if n < 1 {
+		panic("elec.ArrayMultiplier: width must be >= 1")
+	}
+	partial := GateCount{Gates: n * n, Depth: 1}
+	csa := GateCount{Gates: 5 * n * (n - 1), Depth: 2 * (n - 1)}
+	final := CLA(n)
+	return partial.Chain(csa).Chain(final)
+}
+
+// WallaceMultiplier returns the gate count of a Wallace-tree multiplier:
+// same partial products and adder cells, but the reduction tree is
+// logarithmic in depth (~1.7 log2 levels of 3:2 compressors).
+func WallaceMultiplier(n int) GateCount {
+	if n < 1 {
+		panic("elec.WallaceMultiplier: width must be >= 1")
+	}
+	partial := GateCount{Gates: n * n, Depth: 1}
+	levels := 1
+	for h := n; h > 2; h = (h*2 + 2) / 3 {
+		levels++
+	}
+	tree := GateCount{Gates: 5 * n * (n - 1), Depth: 2 * levels}
+	final := CLA(2 * n)
+	return partial.Chain(tree).Chain(final)
+}
+
+// ArrayMultiplierFunc is a bit-exact functional model: partial products
+// accumulated row by row through a CLA (the carry-save array's
+// arithmetic effect).
+type ArrayMultiplierFunc struct {
+	width int
+	mask  uint64
+	adder *CLAAdder
+}
+
+// NewArrayMultiplier returns a functional multiplier for 1..32-bit
+// operands (the 2n-bit product must fit uint64).
+func NewArrayMultiplier(width int) (*ArrayMultiplierFunc, error) {
+	if width < 1 || width > 32 {
+		return nil, fmt.Errorf("elec: array multiplier width %d out of range [1,32]", width)
+	}
+	adder, err := NewCLAAdder(2 * width)
+	if err != nil {
+		return nil, err
+	}
+	return &ArrayMultiplierFunc{
+		width: width,
+		mask:  (uint64(1) << uint(width)) - 1,
+		adder: adder,
+	}, nil
+}
+
+// Multiply returns x*y computed as the sum of shifted partial products.
+func (m *ArrayMultiplierFunc) Multiply(x, y uint64) (uint64, error) {
+	if x > m.mask || y > m.mask {
+		return 0, fmt.Errorf("elec: operand exceeds %d-bit range", m.width)
+	}
+	var acc uint64
+	for j := 0; j < m.width; j++ {
+		if (y>>uint(j))&1 == 1 {
+			acc, _ = m.adder.Add(acc, x<<uint(j), false)
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,68 @@
+package elec
+
+import "fmt"
+
+// Pipelining analysis: a combinational block deeper than one clock
+// period must either stretch the cycle (the conservative choice the
+// frozen cost model makes) or be pipelined with register stages. This
+// helper sizes that trade for any GateCount.
+
+// PipelinePlan describes how a combinational block meets a clock.
+type PipelinePlan struct {
+	// Stages is the number of pipeline segments (1 = combinational).
+	Stages int
+	// RegisterBits is the width of each inserted pipeline register.
+	RegisterBits int
+	// CycleTime is the resulting clock period [s].
+	CycleTime float64
+	// ExtraGates is the added sequential cost.
+	Extra GateCount
+	// LatencyCycles is the block's result latency in cycles.
+	LatencyCycles int
+}
+
+// Pipeline sizes the register stages needed for the block to run at
+// the target clock period under the technology, with registers of the
+// given width at each cut.
+func Pipeline(block GateCount, width int, targetPeriod float64, tech Tech) (PipelinePlan, error) {
+	if width < 1 {
+		return PipelinePlan{}, fmt.Errorf("elec: pipeline register width must be >= 1")
+	}
+	if targetPeriod <= 0 {
+		return PipelinePlan{}, fmt.Errorf("elec: target period must be positive")
+	}
+	if err := tech.Validate(); err != nil {
+		return PipelinePlan{}, err
+	}
+	levelsPerStage := int(targetPeriod / tech.GateDelay)
+	if levelsPerStage < 1 {
+		return PipelinePlan{}, fmt.Errorf(
+			"elec: target period %.3g s is below one gate delay %.3g s: unreachable",
+			targetPeriod, tech.GateDelay)
+	}
+	stages := (block.Depth + levelsPerStage - 1) / levelsPerStage
+	if stages < 1 {
+		stages = 1
+	}
+	plan := PipelinePlan{
+		Stages:        stages,
+		RegisterBits:  width,
+		CycleTime:     targetPeriod,
+		LatencyCycles: stages,
+	}
+	if stages > 1 {
+		plan.Extra = Register(width).Scale(stages - 1)
+	}
+	return plan, nil
+}
+
+// ThroughputGain returns how much faster results stream out of the
+// pipelined block versus the stretched-cycle alternative: the
+// combinational cycle over the pipelined cycle.
+func (p PipelinePlan) ThroughputGain(block GateCount, tech Tech) float64 {
+	comb := block.Delay(tech)
+	if comb < p.CycleTime {
+		return 1
+	}
+	return comb / p.CycleTime
+}

@@ -1,0 +1,68 @@
+package elec
+
+import (
+	"math"
+	"testing"
+
+	"pixel/internal/phy"
+)
+
+func TestPipelineCombinationalFitsOneStage(t *testing.T) {
+	tech := Bulk22LVT()
+	// A 4-level block at 0.295 ns/level = 1.18 ns needs one stage at a
+	// 2 ns clock.
+	block := GateCount{Gates: 100, Depth: 4}
+	plan, err := Pipeline(block, 16, 2*phy.Nanosecond, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages != 1 || plan.Extra.Flops != 0 {
+		t.Errorf("plan = %+v, want single combinational stage", plan)
+	}
+	if plan.ThroughputGain(block, tech) != 1 {
+		t.Error("fitting block has no throughput gain")
+	}
+}
+
+func TestPipelineDeepBlockAtFastClock(t *testing.T) {
+	tech := Bulk22LVT()
+	// The 32-bit CLA (depth 14 -> 4.13 ns) at a 1 ns clock: 3 levels
+	// per stage -> 5 stages, 4 pipeline registers.
+	block := CLA(32)
+	plan, err := Pipeline(block, 32, 1*phy.Nanosecond, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages != 5 {
+		t.Errorf("stages = %d, want 5", plan.Stages)
+	}
+	if plan.Extra.Flops != 4*32 {
+		t.Errorf("pipeline registers = %d flops, want 128", plan.Extra.Flops)
+	}
+	gain := plan.ThroughputGain(block, tech)
+	if math.Abs(gain-block.Delay(tech)/1e-9) > 1e-9 {
+		t.Errorf("throughput gain = %v", gain)
+	}
+	if gain <= 4 {
+		t.Errorf("deep block should gain >4x, got %v", gain)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	tech := Bulk22LVT()
+	if _, err := Pipeline(CLA(8), 0, 1e-9, tech); err == nil {
+		t.Error("zero width should error")
+	}
+	if _, err := Pipeline(CLA(8), 8, 0, tech); err == nil {
+		t.Error("zero period should error")
+	}
+	// A period below one gate delay cannot be met by pipelining.
+	if _, err := Pipeline(CLA(8), 8, 0.1*phy.Nanosecond, tech); err == nil {
+		t.Error("sub-gate-delay period should error")
+	}
+	bad := tech
+	bad.GateDelay = 0
+	if _, err := Pipeline(CLA(8), 8, 1e-9, bad); err == nil {
+		t.Error("invalid tech should error")
+	}
+}

@@ -1,0 +1,158 @@
+// Package elec models the electrical side of the PIXEL accelerator: a
+// DSENT-like 22 nm bulk CMOS technology model (the paper's Bulk22LVT) and
+// the gate-count, energy, area and delay models for every electrical
+// component used by the EE, OE and OO designs (carry-lookahead adders,
+// barrel shifters, AND arrays, registers, comparator ladders, and the
+// hybrid piecewise-linear hyperbolic-tangent activation unit).
+//
+// In addition to the cost models, the package contains bit-exact
+// *functional* implementations of the datapath components (CLA addition,
+// barrel shifting, PL-tanh). These are used by the functional MAC
+// simulators to prove that the three designs compute identical results.
+package elec
+
+import (
+	"fmt"
+
+	"pixel/internal/phy"
+)
+
+// Tech describes a CMOS technology node as consumed by the cost models:
+// everything is reduced to per-gate (NAND2-equivalent) figures plus wire
+// constants, exactly the granularity at which the paper uses DSENT.
+type Tech struct {
+	// Name identifies the model, e.g. "Bulk22LVT".
+	Name string
+
+	// GateEnergy is the switching energy of one NAND2-equivalent gate
+	// per clocked transition [J]. DSENT Bulk22LVT-class devices land in
+	// the low-femtojoule range per gate toggle.
+	GateEnergy float64
+
+	// GateArea is the layout area of one NAND2-equivalent gate
+	// including local wiring overhead [m^2].
+	GateArea float64
+
+	// GateDelay is the propagation delay of one logic level [s]. The
+	// paper derives 2.95 ns for an 8-bit CLA with logic depth 10, i.e.
+	// 0.295 ns per level.
+	GateDelay float64
+
+	// GateLeakage is the static power of one gate [W]; charged for the
+	// duration a component is powered.
+	GateLeakage float64
+
+	// WireEnergyPerBitMeter is the electrical interconnect energy to
+	// move one bit over one meter of on-chip wire [J/(bit*m)].
+	WireEnergyPerBitMeter float64
+
+	// WireDelayPerMeter is the repeated-wire signal velocity [s/m].
+	WireDelayPerMeter float64
+
+	// ClockRate is the electrical clock [Hz]; the paper evaluates the
+	// electrical processing at 1 GHz.
+	ClockRate float64
+
+	// FlopEnergy is the energy of one flip-flop capture [J] and
+	// FlopArea its area [m^2]; registers and shift registers are built
+	// from these.
+	FlopEnergy float64
+	FlopArea   float64
+}
+
+// Bulk22LVT returns the 22 nm low-Vt bulk technology model used for all
+// electrical components in the paper (Section IV-A1).
+//
+// Where the paper states a figure we keep it: 0.295 ns per logic level
+// (from the 8-bit CLA example: LD=10 -> 2.95 ns) and a 1 GHz electrical
+// clock. Per-gate energy/area are set to representative 22 nm values
+// (DSENT-class): ~1 fJ per gate toggle, ~0.4 um^2 per gate. The paper's
+// own printed units for these ("0.07 nm^2", "0.17 uW" for 212 gates) are
+// typographically inconsistent; see DESIGN.md section 5.
+func Bulk22LVT() Tech {
+	return Tech{
+		Name:                  "Bulk22LVT",
+		GateEnergy:            1.0 * phy.Femtojoule,
+		GateArea:              0.4 * phy.SquareMicrometer,
+		GateDelay:             0.295 * phy.Nanosecond,
+		GateLeakage:           0.8 * phy.Nanowatt,
+		WireEnergyPerBitMeter: 0.6 * phy.Picojoule / phy.Millimeter,
+		WireDelayPerMeter:     66 * phy.Picosecond / phy.Millimeter,
+		ClockRate:             1 * phy.Gigahertz,
+		FlopEnergy:            4.0 * phy.Femtojoule,
+		FlopArea:              1.6 * phy.SquareMicrometer,
+	}
+}
+
+// Validate reports an error if the technology parameters are not usable.
+func (t Tech) Validate() error {
+	switch {
+	case t.GateEnergy <= 0:
+		return fmt.Errorf("elec: %s: GateEnergy must be positive", t.Name)
+	case t.GateArea <= 0:
+		return fmt.Errorf("elec: %s: GateArea must be positive", t.Name)
+	case t.GateDelay <= 0:
+		return fmt.Errorf("elec: %s: GateDelay must be positive", t.Name)
+	case t.ClockRate <= 0:
+		return fmt.Errorf("elec: %s: ClockRate must be positive", t.Name)
+	case t.FlopEnergy <= 0 || t.FlopArea <= 0:
+		return fmt.Errorf("elec: %s: flop parameters must be positive", t.Name)
+	case t.WireEnergyPerBitMeter < 0 || t.WireDelayPerMeter < 0 || t.GateLeakage < 0:
+		return fmt.Errorf("elec: %s: wire/leakage parameters must be non-negative", t.Name)
+	}
+	return nil
+}
+
+// ClockPeriod returns the electrical clock period [s].
+func (t Tech) ClockPeriod() float64 { return 1 / t.ClockRate }
+
+// GateCount is a census of NAND2-equivalent gates and flip-flops for a
+// component; cost models convert it to energy/area/delay via Tech.
+type GateCount struct {
+	Gates int // combinational NAND2-equivalents
+	Flops int // sequential elements
+	Depth int // logic levels on the critical path
+}
+
+// Add returns the union of two gate counts; depth is the max (components
+// are assumed parallel unless composed explicitly).
+func (g GateCount) Add(o GateCount) GateCount {
+	d := g.Depth
+	if o.Depth > d {
+		d = o.Depth
+	}
+	return GateCount{Gates: g.Gates + o.Gates, Flops: g.Flops + o.Flops, Depth: d}
+}
+
+// Chain returns the series composition of two gate counts; depths add.
+func (g GateCount) Chain(o GateCount) GateCount {
+	return GateCount{Gates: g.Gates + o.Gates, Flops: g.Flops + o.Flops, Depth: g.Depth + o.Depth}
+}
+
+// Scale returns the gate count replicated n times (depth unchanged).
+func (g GateCount) Scale(n int) GateCount {
+	return GateCount{Gates: g.Gates * n, Flops: g.Flops * n, Depth: g.Depth}
+}
+
+// Energy returns the switching energy [J] of one activation of the
+// component under technology t, assuming an average activity factor of
+// one transition per gate per activation (the paper's convention).
+func (g GateCount) Energy(t Tech) float64 {
+	return float64(g.Gates)*t.GateEnergy + float64(g.Flops)*t.FlopEnergy
+}
+
+// Area returns the layout area [m^2] of the component under technology t.
+func (g GateCount) Area(t Tech) float64 {
+	return float64(g.Gates)*t.GateArea + float64(g.Flops)*t.FlopArea
+}
+
+// Delay returns the critical-path propagation delay [s] of the component
+// under technology t.
+func (g GateCount) Delay(t Tech) float64 {
+	return float64(g.Depth) * t.GateDelay
+}
+
+// Leakage returns the static power [W] of the component under t.
+func (g GateCount) Leakage(t Tech) float64 {
+	return float64(g.Gates+g.Flops) * t.GateLeakage
+}

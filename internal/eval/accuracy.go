@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pixel/internal/qnn"
+	"pixel/internal/report"
+	"pixel/internal/tensor"
+)
+
+// Precision study: the paper sweeps bits/lane for cost; this extension
+// closes the loop on what reduced precision does to the *computation*.
+// A reference model runs at 8-bit weights/activations; quantized
+// variants drop weight LSBs down to the target precision and the study
+// measures logit deviation and top-1 agreement against the 8-bit
+// reference over a batch of random inputs.
+
+// AccuracyPoint is the outcome at one precision.
+type AccuracyPoint struct {
+	Bits int
+	// Top1Agreement is the fraction of inputs whose argmax matches the
+	// 8-bit reference.
+	Top1Agreement float64
+	// MeanRelLogitError is the mean relative L1 deviation of the
+	// logits.
+	MeanRelLogitError float64
+}
+
+// accuracyWeights builds the fixed random 8-bit study weights.
+func accuracyWeights(rng *rand.Rand) (*tensor.Kernel, []int64) {
+	k := tensor.NewKernel(4, 3, 1)
+	for i := range k.Data {
+		k.Data[i] = rng.Int63n(256)
+	}
+	fcW := make([]int64, 5*5*4*8)
+	for i := range fcW {
+		fcW[i] = rng.Int63n(256)
+	}
+	return k, fcW
+}
+
+// quantizeTo returns a copy of w with the low (8-p) bits dropped and
+// rescaled back, the standard uniform-quantization projection.
+func quantizeTo(w []int64, bits int) []int64 {
+	shift := uint(8 - bits)
+	out := make([]int64, len(w))
+	for i, v := range w {
+		out[i] = (v >> shift) << shift
+	}
+	return out
+}
+
+// buildQuantizedModel assembles the study model with weights quantized
+// to the given precision.
+func buildQuantizedModel(k *tensor.Kernel, fcW []int64, bits int) *qnn.Model {
+	qk := tensor.NewKernel(k.M, k.R, k.C)
+	copy(qk.Data, quantizeTo(k.Data, bits))
+	qfc := quantizeTo(fcW, bits)
+	return &qnn.Model{
+		Label:          fmt.Sprintf("acc-%db", bits),
+		ActivationBits: 16,
+		Layers: []qnn.Layer{
+			&qnn.Conv{Label: "conv", Kernel: qk, Stride: 1},
+			&qnn.Requant{Label: "rq", Shift: 8, Max: 255},
+			&qnn.MaxPool{Label: "pool", Window: 2},
+			&qnn.Flatten{Label: "flat"},
+			&qnn.FullyConnected{Label: "fc", Weights: qfc, Out: 8},
+		},
+	}
+}
+
+// MeasureAccuracy runs the study over `inputs` random 12x12 images and
+// returns one point per precision in [2, 8].
+func MeasureAccuracy(inputs int) ([]AccuracyPoint, error) {
+	if inputs < 1 {
+		return nil, fmt.Errorf("eval: need at least one input")
+	}
+	rng := rand.New(rand.NewSource(99))
+	k, fcW := accuracyWeights(rng)
+	ref := buildQuantizedModel(k, fcW, 8)
+
+	images := make([]*tensor.Tensor, inputs)
+	for i := range images {
+		img := tensor.New(12, 12, 1)
+		for j := range img.Data {
+			img.Data[j] = rng.Int63n(256)
+		}
+		images[i] = img
+	}
+
+	refOut := make([]*tensor.Tensor, inputs)
+	for i, img := range images {
+		out, err := ref.Run(img, qnn.ReferenceDotter{})
+		if err != nil {
+			return nil, err
+		}
+		refOut[i] = out
+	}
+
+	var points []AccuracyPoint
+	for bits := 2; bits <= 8; bits++ {
+		m := buildQuantizedModel(k, fcW, bits)
+		agree := 0
+		var relErr float64
+		for i, img := range images {
+			out, err := m.Run(img, qnn.ReferenceDotter{})
+			if err != nil {
+				return nil, err
+			}
+			if tensor.ArgMax(out) == tensor.ArgMax(refOut[i]) {
+				agree++
+			}
+			var num, den float64
+			for j := range out.Data {
+				num += math.Abs(float64(out.Data[j] - refOut[i].Data[j]))
+				den += math.Abs(float64(refOut[i].Data[j]))
+			}
+			if den > 0 {
+				relErr += num / den
+			}
+		}
+		points = append(points, AccuracyPoint{
+			Bits:              bits,
+			Top1Agreement:     float64(agree) / float64(inputs),
+			MeanRelLogitError: relErr / float64(inputs),
+		})
+	}
+	return points, nil
+}
+
+// ExtAccuracy renders the precision study.
+func ExtAccuracy() (*report.Table, error) {
+	points, err := MeasureAccuracy(64)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Extension: weight precision vs computation fidelity (64 random inputs, 8-bit reference)",
+		"Weight bits", "Top-1 agreement", "Mean rel logit error")
+	for _, p := range points {
+		t.AddRow(fmt.Sprint(p.Bits),
+			fmt.Sprintf("%.0f%%", 100*p.Top1Agreement),
+			fmt.Sprintf("%.4f", p.MeanRelLogitError))
+	}
+	t.AddNote("quantization: drop-and-rescale of weight LSBs; activations stay 8-bit")
+	return t, nil
+}

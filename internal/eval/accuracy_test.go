@@ -1,0 +1,46 @@
+package eval
+
+import "testing"
+
+func TestMeasureAccuracyShapes(t *testing.T) {
+	points, err := MeasureAccuracy(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 { // 2..8 bits
+		t.Fatalf("points = %d, want 7", len(points))
+	}
+	// The 8-bit point IS the reference: perfect agreement, zero error.
+	last := points[len(points)-1]
+	if last.Bits != 8 || last.Top1Agreement != 1 || last.MeanRelLogitError != 0 {
+		t.Errorf("8-bit point should be exact: %+v", last)
+	}
+	// Fidelity must not degrade as precision grows (weak monotonicity
+	// on the logit error).
+	for i := 1; i < len(points); i++ {
+		if points[i].MeanRelLogitError > points[i-1].MeanRelLogitError+1e-12 {
+			t.Errorf("logit error should not grow with precision: %v -> %v at %d bits",
+				points[i-1].MeanRelLogitError, points[i].MeanRelLogitError, points[i].Bits)
+		}
+	}
+	// 2-bit weights must hurt noticeably more than 6-bit weights.
+	if points[0].MeanRelLogitError <= points[4].MeanRelLogitError {
+		t.Error("2-bit quantization should deviate more than 6-bit")
+	}
+}
+
+func TestMeasureAccuracyValidation(t *testing.T) {
+	if _, err := MeasureAccuracy(0); err == nil {
+		t.Error("zero inputs should error")
+	}
+}
+
+func TestExtAccuracyRuns(t *testing.T) {
+	tab, err := ExtAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Errorf("accuracy rows = %d, want 7", len(tab.Rows))
+	}
+}

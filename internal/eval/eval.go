@@ -1,0 +1,54 @@
+// Package eval contains one experiment runner per figure and table of
+// the paper's evaluation (Table I, Figures 4-10, Table II). Each
+// experiment regenerates the same rows/series the paper reports, using
+// the cost model of internal/arch and the workloads of internal/cnn.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"pixel/internal/report"
+)
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	// ID is the stable identifier used by cmd/pixelsim (-exp flag) and
+	// the bench harness: "table1", "fig4" ... "fig10", "table2".
+	ID string
+	// Paper names the artifact in the paper ("Figure 7").
+	Paper string
+	// Title is a one-line description.
+	Title string
+	// Run computes the experiment and renders its table.
+	Run func() (*report.Table, error)
+}
+
+// Experiments returns all experiments in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Paper: "Table I", Title: "VGG16 per-layer computations [millions]", Run: Table1},
+		{ID: "fig4", Paper: "Figure 4", Title: "Energy/bit of a single MAC unit vs lanes and bits/lane", Run: Fig4},
+		{ID: "fig5", Paper: "Figure 5", Title: "Energy per component for AlexNet, LeNet, VGG16 (4 lanes)", Run: Fig5},
+		{ID: "fig6", Paper: "Figure 6", Title: "MAC-unit area vs lanes at 4 bits/lane", Run: Fig6},
+		{ID: "fig7", Paper: "Figure 7", Title: "Normalized energy, six CNNs x bits/lane (8 lanes)", Run: Fig7},
+		{ID: "fig8", Paper: "Figure 8", Title: "Geomean inference latency vs bits/lane (8 lanes)", Run: Fig8},
+		{ID: "fig9", Paper: "Figure 9", Title: "ZFNet per-layer latency (8 lanes, 8 bits/lane)", Run: Fig9},
+		{ID: "fig10", Paper: "Figure 10", Title: "Normalized EDP, six CNNs x bits/lane (4 lanes)", Run: Fig10},
+		{ID: "table2", Paper: "Table II", Title: "Component energy breakdown [mJ] (4 lanes, 16 bits/lane)", Run: Table2},
+	}
+}
+
+// ByID returns the experiment with the given id, searching the paper
+// artifacts and the extensions.
+func ByID(id string) (Experiment, error) {
+	ids := make([]string, 0, 16)
+	for _, e := range AllExperiments() {
+		if e.ID == id {
+			return e, nil
+		}
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("eval: unknown experiment %q (valid: %v)", id, ids)
+}

@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range Experiments() {
+		tab, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+		var sb strings.Builder
+		if err := tab.Render(&sb); err != nil {
+			t.Errorf("%s: render: %v", e.ID, err)
+		}
+		if !strings.Contains(sb.String(), tab.Columns[0]) {
+			t.Errorf("%s: rendered output missing header", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2"} {
+		e, err := ByID(id)
+		if err != nil || e.ID != id {
+			t.Errorf("ByID(%q): %v", id, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestExperimentCount(t *testing.T) {
+	// One per published artifact: Table I, Figures 4-10, Table II.
+	if got := len(Experiments()); got != 9 {
+		t.Errorf("experiment count = %d, want 9", got)
+	}
+}
+
+func TestTable1RowCount(t *testing.T) {
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Errorf("Table I rows = %d, want 13 (10 conv + 3 FC)", len(tab.Rows))
+	}
+	// Spot-check the worked-example row.
+	if tab.Rows[0][0] != "Conv1" || tab.Rows[0][2] != "86.7" {
+		t.Errorf("Conv1 row = %v", tab.Rows[0])
+	}
+}
+
+func TestFig4GridComplete(t *testing.T) {
+	tab, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Fig4Lanes) * len(Fig4Bits)
+	if len(tab.Rows) != want {
+		t.Errorf("Fig4 rows = %d, want %d", len(tab.Rows), want)
+	}
+}
+
+func TestFig4EnergyPerBitShapes(t *testing.T) {
+	// EE energy/bit grows with bits/lane; optical stays nearly flat.
+	eeLow, err := EnergyPerBit(arch.EE, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eeHigh, _ := EnergyPerBit(arch.EE, 8, 32)
+	if eeHigh <= eeLow {
+		t.Error("EE energy/bit should grow with bits/lane")
+	}
+	oeLow, _ := EnergyPerBit(arch.OE, 8, 4)
+	oeHigh, _ := EnergyPerBit(arch.OE, 8, 32)
+	if oeHigh > 1.5*oeLow {
+		t.Errorf("OE energy/bit should be nearly flat in bits/lane: %v -> %v", oeLow, oeHigh)
+	}
+	// And EE grows with lanes (broadcast wiring).
+	eeL2, _ := EnergyPerBit(arch.EE, 2, 8)
+	eeL16, _ := EnergyPerBit(arch.EE, 16, 8)
+	if eeL16 <= eeL2 {
+		t.Error("EE energy/bit should grow with lanes")
+	}
+}
+
+func TestFig7NormalizationAnchorsEE(t *testing.T) {
+	tab, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "1" {
+			t.Errorf("EE column must be 1 (normalized), got %q in %v", row[2], row)
+		}
+	}
+}
+
+func TestFig7OpticalWinsAtHighBits(t *testing.T) {
+	for _, net := range cnn.All() {
+		oo, err := NormalizedEnergy(net, arch.OO, 8, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oo >= 0.5 {
+			t.Errorf("%s: OO normalized energy at 32 bits = %.3f, want < 0.5 (paper: OO tiny at 32b/8 lanes)", net.Name, oo)
+		}
+	}
+}
+
+func TestFig8SeriesComplete(t *testing.T) {
+	tab, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Fig8Bits) {
+		t.Errorf("Fig8 rows = %d, want %d", len(tab.Rows), len(Fig8Bits))
+	}
+}
+
+func TestFig9CoversAllLayers(t *testing.T) {
+	tab, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(cnn.ZFNet().Layers) {
+		t.Errorf("Fig9 rows = %d, want %d", len(tab.Rows), len(cnn.ZFNet().Layers))
+	}
+}
+
+func TestFig10GeomeanNoteMatchesHeadlines(t *testing.T) {
+	tab, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[0], "paper 48.4%") {
+		t.Errorf("Fig10 should carry the headline note, got %v", tab.Notes)
+	}
+}
+
+func TestTable2RowsAndOrdering(t *testing.T) {
+	tab, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 { // 3 CNNs x 3 designs
+		t.Errorf("Table II rows = %d, want 9", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "ResNet-34" || tab.Rows[0][1] != "EE" {
+		t.Errorf("first row = %v", tab.Rows[0])
+	}
+}
+
+func TestHeadlinesWithinPaperBands(t *testing.T) {
+	h := MeasureHeadlines()
+	checks := []struct {
+		name     string
+		got      float64
+		lo, hi   float64
+		paperVal float64
+	}{
+		{"OE EDP improvement", h.OEEDPImprovement, 0.42, 0.60, 0.484},
+		{"OO EDP improvement", h.OOEDPImprovement, 0.68, 0.86, 0.739},
+		{"multiply saving", h.MulSaving, 0.935, 0.965, 0.949},
+		{"accumulate saving", h.AddSaving, 0.46, 0.62, 0.538},
+		{"ZFNet Conv2 vs EE", h.ZFNetConv2VsEE, 0.25, 0.40, 0.319},
+		{"ZFNet Conv2 vs OE", h.ZFNetConv2VsOE, 0.12, 0.28, 0.186},
+		{"OO/OE laser ratio", h.LaserRatioOOvsOE, 1.3, 1.7, 1.52},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s = %.3f outside band [%.3f,%.3f] (paper %.3f)", c.name, c.got, c.lo, c.hi, c.paperVal)
+		}
+	}
+}

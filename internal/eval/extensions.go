@@ -1,0 +1,299 @@
+package eval
+
+import (
+	"fmt"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+	"pixel/internal/elec"
+	"pixel/internal/interconnect"
+	"pixel/internal/mapper"
+	"pixel/internal/photonics"
+	"pixel/internal/phy"
+	"pixel/internal/report"
+	"pixel/internal/sim"
+)
+
+// Extensions are studies beyond the paper's published artifacts:
+// ablations of the calibration's design choices, throughput views,
+// the MWSR/SWMR interconnect trade, tile-grid scheduling and
+// adder-architecture comparisons. They run through the same -exp
+// interface as the paper experiments, under "ext-" ids.
+func Extensions() []Experiment {
+	return []Experiment{
+		{ID: "ext-ablation", Paper: "extension", Title: "EDP sensitivity to the calibration's design choices", Run: ExtAblation},
+		{ID: "ext-throughput", Paper: "extension", Title: "Throughput and efficiency, six CNNs (4 lanes, 16 bits/lane)", Run: ExtThroughput},
+		{ID: "ext-discipline", Paper: "extension", Title: "MWSR vs SWMR row broadcast on the tile fabric", Run: ExtDiscipline},
+		{ID: "ext-mapper", Paper: "extension", Title: "Tile-grid schedules with electrical vs photonic weight preload", Run: ExtMapper},
+		{ID: "ext-adders", Paper: "extension", Title: "Adder and multiplier architecture comparison (gate models)", Run: ExtAdders},
+		{ID: "ext-power", Paper: "extension", Title: "Chip-level power budgets: dynamic + static floors", Run: ExtPower},
+		{ID: "ext-pareto", Paper: "extension", Title: "Energy/latency Pareto frontier over the design space", Run: ExtPareto},
+		{ID: "ext-sim", Paper: "extension", Title: "Discrete-event pipeline simulation of ZFNet on the tile grid", Run: ExtSim},
+		{ID: "ext-accuracy", Paper: "extension", Title: "Weight precision vs computation fidelity", Run: ExtAccuracy},
+		{ID: "ext-workloads", Paper: "extension", Title: "Workload summary: parameters and operation counts, all six CNNs", Run: ExtWorkloads},
+		{ID: "ext-idle", Paper: "extension", Title: "Energy proportionality: per-inference energy vs duty cycle", Run: ExtIdle},
+	}
+}
+
+// AllExperiments returns the paper artifacts followed by the
+// extensions.
+func AllExperiments() []Experiment {
+	return append(Experiments(), Extensions()...)
+}
+
+// ExtAblation renders the ablation study.
+func ExtAblation() (*report.Table, error) {
+	results, err := arch.RunAblations()
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Extension: EDP-improvement sensitivity (geomean over six CNNs, 4 lanes / 16 bits-lane)",
+		"Ablation", "OE vs EE", "OO vs EE", "What changed")
+	for _, r := range results {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.1f%%", 100*r.OEImprovement),
+			fmt.Sprintf("%.1f%%", 100*r.OOImprovement),
+			r.Description)
+	}
+	return t, nil
+}
+
+// ExtThroughput renders the rate metrics for every network.
+func ExtThroughput() (*report.Table, error) {
+	t := report.New("Extension: throughput and efficiency (4 lanes, 16 bits/lane)",
+		"CNN", "Des", "inf/s", "avg W", "inf/J")
+	for _, net := range cnn.All() {
+		for _, d := range arch.Designs() {
+			r, err := arch.Throughput(net, arch.MustConfig(d, 4, 16))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(net.Name, d.String(),
+				report.Sci(r.InferencesPerSecond),
+				report.Sci(r.AvgPowerW),
+				report.Sci(r.InferencesPerJoule))
+		}
+	}
+	return t, nil
+}
+
+// ExtDiscipline renders the MWSR/SWMR broadcast comparison across row
+// sizes.
+func ExtDiscipline() (*report.Table, error) {
+	t := report.New("Extension: 128-bit row broadcast, MWSR vs SWMR",
+		"Tiles/row", "Discipline", "Transmissions", "Detector banks", "Energy", "Latency", "Launch/lambda")
+	for _, cols := range []int{2, 4, 8, 16} {
+		g, err := interconnect.NewGrid(2, cols, 4, 10*phy.Gigahertz)
+		if err != nil {
+			return nil, err
+		}
+		laser := photonics.DefaultLaser(g.Lanes, g.RequiredLaunchPower())
+		mwsr, swmr, err := g.CompareDisciplines(128, laser)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range []interconnect.BroadcastCost{mwsr, swmr} {
+			t.AddRow(fmt.Sprint(cols), c.Discipline.String(),
+				fmt.Sprint(c.Transmissions), fmt.Sprint(c.DetectorBanks),
+				phy.FormatEnergy(c.Energy), phy.FormatTime(c.Latency),
+				phy.FormatPower(c.LaunchPower))
+		}
+	}
+	t.AddNote("SWMR buys broadcast latency with receiver hardware and split laser power; MWSR (PIXEL's choice) keeps the launch power flat")
+	return t, nil
+}
+
+// ExtMapper renders the tile-grid schedules for every network under
+// both weight transports.
+func ExtMapper() (*report.Table, error) {
+	g, err := interconnect.NewGrid(4, 4, 4, 10*phy.Gigahertz)
+	if err != nil {
+		return nil, err
+	}
+	cfg := arch.MustConfig(arch.OO, 4, 8)
+	t := report.New("Extension: 4x4 tile-grid schedules (OO, 4 lanes, 8 bits/lane)",
+		"CNN", "Weights", "Compute", "Preload", "Sequential", "Pipelined", "Preload E", "Util")
+	for _, net := range cnn.All() {
+		for _, tr := range []mapper.WeightTransport{mapper.ElectricalPreload, mapper.PhotonicPreload} {
+			s, err := mapper.MapNetwork(net, g, cfg, mapper.Options{Transport: tr})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(net.Name, tr.String(),
+				phy.FormatTime(s.ComputeS), phy.FormatTime(s.PreloadS),
+				phy.FormatTime(s.MakespanS), phy.FormatTime(s.PipelinedMakespanS),
+				phy.FormatEnergy(s.PreloadJ),
+				fmt.Sprintf("%.0f%%", 100*s.MeanUtilization()))
+		}
+	}
+	t.AddNote("pipelined = double-buffered register files: layer i+1's weights stream during layer i's compute")
+	return t, nil
+}
+
+// ExtPower renders the chip-level power budgets for AlexNet at the
+// headline point.
+func ExtPower() (*report.Table, error) {
+	t := report.New("Extension: power budgets, AlexNet (4 lanes, 16 bits/lane)",
+		"Des", "Dynamic", "Tuning", "SRAM leak", "Logic leak", "Laser", "Total")
+	net := cnn.AlexNet()
+	for _, d := range arch.Designs() {
+		p, err := arch.Power(net, arch.MustConfig(d, 4, 16))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d.String(),
+			phy.FormatPower(p.DynamicW.Total()),
+			phy.FormatPower(p.TuningW),
+			phy.FormatPower(p.SRAMLeakW),
+			phy.FormatPower(p.LogicLeakW),
+			phy.FormatPower(p.LaserIdleW),
+			phy.FormatPower(p.TotalW()))
+	}
+	t.AddNote("static floor = tuning + SRAM leak + logic leak; laser draw already integrates into the dynamic laser column")
+	return t, nil
+}
+
+// ExtPareto renders the energy/latency Pareto frontier for AlexNet
+// over the full sweep space.
+func ExtPareto() (*report.Table, error) {
+	frontier, err := arch.ParetoFrontier(cnn.AlexNet(), arch.Designs(),
+		[]int{2, 4, 8, 16}, []int{4, 8, 16, 32})
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Extension: AlexNet energy/latency Pareto frontier",
+		"Des", "Lanes", "Bits", "Energy", "Latency")
+	for _, p := range frontier {
+		t.AddRow(p.Design.String(), fmt.Sprint(p.Lanes), fmt.Sprint(p.Bits),
+			phy.FormatEnergy(p.EnergyJ), phy.FormatTime(p.LatencyS))
+	}
+	t.AddNote("%d of %d sweep points are Pareto-optimal", len(frontier), 3*4*4)
+	return t, nil
+}
+
+// IdleEnergyPerInference returns the per-inference energy [J] at the
+// given duty cycle: the dynamic inference energy plus the static floor
+// (including the laser, which on-chip designs keep lit) burned over the
+// idle gap between inferences.
+func IdleEnergyPerInference(net cnn.Network, cfg arch.Config, duty float64) (float64, error) {
+	if duty <= 0 || duty > 1 {
+		return 0, fmt.Errorf("eval: duty cycle %v out of (0,1]", duty)
+	}
+	c, err := arch.CostNetwork(net, cfg)
+	if err != nil {
+		return 0, err
+	}
+	p, err := arch.Power(net, cfg)
+	if err != nil {
+		return 0, err
+	}
+	idleTime := c.Latency * (1 - duty) / duty
+	idlePower := p.TotalStaticW() + p.LaserIdleW
+	return c.Energy.Total() + idlePower*idleTime, nil
+}
+
+// ExtIdle renders the energy-proportionality study: AlexNet energy per
+// inference as the accelerator's duty cycle falls. The optical designs'
+// always-on lasers erode their advantage at low utilization — the
+// "race-to-idle" consideration the paper does not discuss.
+func ExtIdle() (*report.Table, error) {
+	net := cnn.AlexNet()
+	duties := []float64{1, 0.5, 0.1, 0.01}
+	t := report.New("Extension: AlexNet energy per inference vs duty cycle (4 lanes, 16 bits/lane)",
+		"Des", "100%", "50%", "10%", "1%")
+	for _, d := range arch.Designs() {
+		cfg := arch.MustConfig(d, 4, 16)
+		row := []string{d.String()}
+		for _, duty := range duties {
+			e, err := IdleEnergyPerInference(net, cfg, duty)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, phy.FormatEnergy(e))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("idle power = static floor + laser; lasers that stay lit erode the optical advantage at low utilization")
+	return t, nil
+}
+
+// ExtWorkloads renders the six networks' storage and compute volumes.
+func ExtWorkloads() (*report.Table, error) {
+	t := report.New("Extension: workload summary (paper-mode op counts)",
+		"CNN", "Layers", "Params [M]", "Weights@8b [MB]", "MVM [M]", "Mul [G]", "Add [G]", "Act [M]")
+	for _, net := range cnn.All() {
+		c := net.TotalCounts(cnn.ModePaper)
+		t.AddRow(net.Name,
+			fmt.Sprint(len(net.Layers)),
+			report.F(float64(net.Params())/1e6, 1),
+			report.F(float64(net.WeightBits(8))/8/1e6, 1),
+			report.F(c.MVM/1e6, 1),
+			report.F(c.Mul/1e9, 2),
+			report.F(c.Add/1e9, 2),
+			report.F(c.Act/1e6, 1))
+	}
+	return t, nil
+}
+
+// ExtSim renders the discrete-event simulation of ZFNet: per-layer
+// makespan, resource occupancy and bottleneck on a 4x4 grid.
+func ExtSim() (*report.Table, error) {
+	g, err := interconnect.NewGrid(4, 4, 4, 10*phy.Gigahertz)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(g, arch.MustConfig(arch.OO, 4, 8), sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	stats, total, err := s.RunNetwork(cnn.ZFNet())
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Extension: event-simulated ZFNet on a 4x4 grid (OO, 4 lanes, 8 bits/lane)",
+		"Layer", "Rounds", "Makespan", "Broadcast busy", "Compute busy", "Bottleneck")
+	for _, st := range stats {
+		t.AddRow(st.Layer, report.Sci(st.Rounds), phy.FormatTime(st.MakespanS),
+			fmt.Sprintf("%.0f%%", 100*st.BroadcastBusyFrac),
+			fmt.Sprintf("%.0f%%", 100*st.ComputeBusyFrac),
+			st.Bottleneck)
+	}
+	t.AddNote("network makespan %s; double-buffered inputs, batched rounds where needed", phy.FormatTime(total))
+	return t, nil
+}
+
+// ExtAdders renders the adder/multiplier architecture comparison under
+// the 22 nm model.
+func ExtAdders() (*report.Table, error) {
+	tech := elec.Bulk22LVT()
+	t := report.New("Extension: adder and multiplier architectures (Bulk22LVT)",
+		"Component", "Width", "Gates", "Depth", "Delay", "Energy/op")
+	for _, w := range []int{8, 16, 32, 64} {
+		for _, row := range []struct {
+			name string
+			gc   elec.GateCount
+		}{
+			{"CLA (paper Eq. 5/6)", elec.CLA(w)},
+			{"Kogge-Stone", elec.KoggeStone(w)},
+		} {
+			t.AddRow(row.name, fmt.Sprint(w),
+				fmt.Sprint(row.gc.Gates), fmt.Sprint(row.gc.Depth),
+				phy.FormatTime(row.gc.Delay(tech)), phy.FormatEnergy(row.gc.Energy(tech)))
+		}
+	}
+	for _, w := range []int{8, 16} {
+		for _, row := range []struct {
+			name string
+			gc   elec.GateCount
+		}{
+			{"array multiplier", elec.ArrayMultiplier(w)},
+			{"Wallace multiplier", elec.WallaceMultiplier(w)},
+		} {
+			t.AddRow(row.name, fmt.Sprint(w),
+				fmt.Sprint(row.gc.Gates), fmt.Sprint(row.gc.Depth),
+				phy.FormatTime(row.gc.Delay(tech)), phy.FormatEnergy(row.gc.Energy(tech)))
+		}
+	}
+	t.AddNote("the Kogge-Stone option would shorten the EE/OE accumulate cycle at wide widths; the paper's Eq. 5/6 CLA is kept as the default for fidelity")
+	return t, nil
+}

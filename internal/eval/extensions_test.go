@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+)
+
+func TestAllExtensionsRun(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 11 {
+		t.Fatalf("extension count = %d, want 11", len(exts))
+	}
+	for _, e := range exts {
+		if !strings.HasPrefix(e.ID, "ext-") {
+			t.Errorf("extension id %q must carry the ext- prefix", e.ID)
+		}
+		tab, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+	}
+}
+
+func TestAllExperimentsIncludesBoth(t *testing.T) {
+	all := AllExperiments()
+	if len(all) != len(Experiments())+len(Extensions()) {
+		t.Error("AllExperiments must concatenate artifacts and extensions")
+	}
+	if _, err := ByID("ext-ablation"); err != nil {
+		t.Errorf("ByID should resolve extensions: %v", err)
+	}
+}
+
+func TestExtAblationHasBaselineRow(t *testing.T) {
+	tab, err := ExtAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][0] != "baseline" {
+		t.Errorf("first ablation row = %v, want baseline", tab.Rows[0])
+	}
+}
+
+func TestExtThroughputRowCount(t *testing.T) {
+	tab, err := ExtThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6*3 {
+		t.Errorf("throughput rows = %d, want 18", len(tab.Rows))
+	}
+}
+
+func TestExtDisciplinePairsPerRowSize(t *testing.T) {
+	tab, err := ExtDiscipline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4*2 {
+		t.Errorf("discipline rows = %d, want 8", len(tab.Rows))
+	}
+}
+
+func TestExtMapperCoversTransports(t *testing.T) {
+	tab, err := ExtMapper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6*2 {
+		t.Errorf("mapper rows = %d, want 12", len(tab.Rows))
+	}
+	elec, photonic := false, false
+	for _, r := range tab.Rows {
+		switch r[1] {
+		case "electrical":
+			elec = true
+		case "photonic":
+			photonic = true
+		}
+	}
+	if !elec || !photonic {
+		t.Error("both transports must appear")
+	}
+}
+
+func TestIdleEnergyMonotoneInDuty(t *testing.T) {
+	cfg := arch.MustConfig(arch.OO, 4, 16)
+	net := cnn.AlexNet()
+	prev := 0.0
+	for i, duty := range []float64{1, 0.5, 0.1, 0.01} {
+		e, err := IdleEnergyPerInference(net, cfg, duty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && e <= prev {
+			t.Errorf("per-inference energy should grow as duty falls: %v -> %v", prev, e)
+		}
+		prev = e
+	}
+	if _, err := IdleEnergyPerInference(net, cfg, 0); err == nil {
+		t.Error("zero duty should error")
+	}
+	if _, err := IdleEnergyPerInference(net, cfg, 1.5); err == nil {
+		t.Error("duty above 1 should error")
+	}
+}
+
+func TestIdleErodesOpticalAdvantage(t *testing.T) {
+	// At full duty the optical designs win energy outright; at 1% duty
+	// the lasers' idle burn must visibly shrink the gap.
+	net := cnn.AlexNet()
+	gap := func(duty float64) float64 {
+		ee, err := IdleEnergyPerInference(net, arch.MustConfig(arch.EE, 4, 16), duty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oo, err := IdleEnergyPerInference(net, arch.MustConfig(arch.OO, 4, 16), duty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return oo / ee
+	}
+	if g := gap(1); g >= 1 {
+		t.Errorf("OO should win at full duty, ratio %v", g)
+	}
+	if gap(0.01) <= gap(1) {
+		t.Error("idling should erode the optical advantage")
+	}
+}
+
+func TestExtAddersMentionsBothFamilies(t *testing.T) {
+	tab, err := ExtAdders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"CLA", "Kogge-Stone", "array multiplier", "Wallace"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adders table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Golden locks the exact rendering of the Table I
+// reproduction: the numbers are deterministic (pure arithmetic on the
+// layer specs), so any drift means the workload model changed.
+func TestTable1Golden(t *testing.T) {
+	const want = `Table I: VGG16 computations [millions]
+Layer   MVM    Mul       Add       Act    Input Shape
+-------------------------------------------------------
+Conv1   9.63   86.7      89.9      3.21   [226,226,3]
+Conv2   206    1.85e+03  1.85e+03  3.21   [226,226,64]
+Conv3   103    925       926       1.61   [114,114,64]
+Conv4   206    1.85e+03  1.85e+03  1.61   [114,114,128]
+Conv5   103    925       926       0.803  [58,58,128]
+Conv6   206    1.85e+03  1.85e+03  0.803  [58,58,256]
+Conv7   103    925       925       0.401  [30,30,256]
+Conv8   206    1.85e+03  1.85e+03  0.401  [30,30,512]
+Conv9   51.4   462       463       0.1    [16,16,512]
+Conv10  51.4   462       463       0.1    [16,16,512]
+FC1     1e-06  629       1.26e+03  629    [25088]
+FC2     1e-06  16.8      33.6      16.8   [4096]
+FC3     1e-06  16.8      33.6      16.8   [4096]
+note: paper prints Conv1's input unpadded ([224,224,3]); all rows here show the padded extent Eq. 11 uses
+`
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("Table I rendering drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWorkloadsGolden locks the workload inventory (pure arithmetic on
+// the layer tables — parameter counts and op counts).
+func TestWorkloadsGolden(t *testing.T) {
+	const want = `Extension: workload summary (paper-mode op counts)
+CNN        Layers  Params [M]  Weights@8b [MB]  MVM [M]  Mul [G]  Add [G]  Act [M]
+----------------------------------------------------------------------------------
+VGG16      13      133         133              1242.8   11.85    12.52    675.2
+AlexNet    8       62.4        62.4             76.9     1.2      1.31     119.1
+ZFNet      8       62.4        62.3             78.2     1.23     1.35     120
+ResNet-34  37      21.8        21.8             413.5    3.66     3.67     4
+LeNet      5       0.1         0.1              0        0        0        0.2
+GoogLeNet  58      7           7                483.8    1.58     1.59     4.3
+`
+	tab, err := ExtWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("workload inventory drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"math"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+)
+
+// Headlines are the paper's summary claims with our measured values —
+// the paper-vs-measured record EXPERIMENTS.md reports.
+type Headlines struct {
+	// OEEDPImprovement / OOEDPImprovement: geomean EDP gain over EE at
+	// 4 lanes, 16 bits/lane (paper: 48.4% and 73.9%).
+	OEEDPImprovement float64
+	OOEDPImprovement float64
+	// MulSaving: 1 - optical/EE multiplication energy (paper: 94.9%).
+	MulSaving float64
+	// AddSaving: 1 - OO/OE accumulation energy (paper: 53.8%).
+	AddSaving float64
+	// ZFNetConv2VsEE / VsOE: OO latency gain on ZFNet Conv2 at 8
+	// lanes, 8 bits/lane (paper: 31.9% and 18.6%).
+	ZFNetConv2VsEE float64
+	ZFNetConv2VsOE float64
+	// LaserRatioOOvsOE: OO laser energy over OE's (paper Table II:
+	// ~1.52x).
+	LaserRatioOOvsOE float64
+}
+
+// MeasureHeadlines computes every headline from the frozen model.
+func MeasureHeadlines() Headlines {
+	var h Headlines
+
+	geoEDP := func(d arch.Design) float64 {
+		logSum := 0.0
+		for _, net := range cnn.All() {
+			c, err := arch.CostNetwork(net, arch.MustConfig(d, 4, 16))
+			if err != nil {
+				panic(err) // configurations are static and validated
+			}
+			logSum += math.Log(c.EDP())
+		}
+		return math.Exp(logSum / 6)
+	}
+	ee, oe, oo := geoEDP(arch.EE), geoEDP(arch.OE), geoEDP(arch.OO)
+	h.OEEDPImprovement = 1 - oe/ee
+	h.OOEDPImprovement = 1 - oo/ee
+
+	pEE := arch.PerOp(arch.MustConfig(arch.EE, 4, 16))
+	pOE := arch.PerOp(arch.MustConfig(arch.OE, 4, 16))
+	pOO := arch.PerOp(arch.MustConfig(arch.OO, 4, 16))
+	h.MulSaving = 1 - pOE.Mul/pEE.Mul
+	h.AddSaving = 1 - pOO.Add/pOE.Add
+	h.LaserRatioOOvsOE = pOO.Laser / pOE.Laser
+
+	lat := map[arch.Design]float64{}
+	for _, d := range arch.Designs() {
+		c, err := arch.CostNetwork(cnn.ZFNet(), arch.MustConfig(d, 8, 8))
+		if err != nil {
+			panic(err)
+		}
+		lat[d] = c.Layers[1].Latency
+	}
+	h.ZFNetConv2VsEE = 1 - lat[arch.OO]/lat[arch.EE]
+	h.ZFNetConv2VsOE = 1 - lat[arch.OO]/lat[arch.OE]
+	return h
+}

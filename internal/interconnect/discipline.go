@@ -1,0 +1,117 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"pixel/internal/photonics"
+)
+
+// The paper's related work (Section VI-A) notes that photonic NoCs use
+// either Multiple-Write-Single-Read or Single-Write-Multiple-Read
+// channels, trading energy against performance. PIXEL's OMACs use MWSR
+// (Section III-A); this file models both so the trade-off is
+// quantifiable on PIXEL's own fabric.
+//
+//   - MWSR: every tile owns a transmit band; one home tile reads the
+//     whole waveguide. Cheap receive (one detector bank), but a tile's
+//     message is seen by one reader — broadcasts need one transmission
+//     per reader's waveguide.
+//   - SWMR: one tile owns the waveguide and every other tile carries a
+//     full receive bank. A single transmission reaches all readers
+//     (true broadcast), at the cost of (tiles-1) detector banks per
+//     waveguide and the optical power to feed them all (a 1:N split).
+
+// Discipline selects the channel-sharing scheme.
+type Discipline int
+
+const (
+	// MWSR is multiple-write single-read (the PIXEL default).
+	MWSR Discipline = iota
+	// SWMR is single-write multiple-read.
+	SWMR
+)
+
+// String implements fmt.Stringer.
+func (d Discipline) String() string {
+	if d == SWMR {
+		return "SWMR"
+	}
+	return "MWSR"
+}
+
+// BroadcastCost is the price of delivering one neuron vector to every
+// tile of a row.
+type BroadcastCost struct {
+	Discipline Discipline
+	// Transmissions is how many times the payload is modulated.
+	Transmissions int
+	// DetectorBanks is how many receiver banks the row carries.
+	DetectorBanks int
+	// Energy is the total broadcast energy [J].
+	Energy float64
+	// Latency is the time until every tile holds the payload [s].
+	Latency float64
+	// LaunchPower is the required per-wavelength laser power [W].
+	LaunchPower float64
+}
+
+// RowBroadcast prices a `bits`-bit broadcast to every tile of a row
+// under the given discipline.
+func (g *Grid) RowBroadcast(bits int, d Discipline, laser photonics.Laser) (BroadcastCost, error) {
+	if bits <= 0 {
+		return BroadcastCost{}, fmt.Errorf("interconnect: broadcast needs a positive payload")
+	}
+	if err := g.Validate(); err != nil {
+		return BroadcastCost{}, err
+	}
+	readers := g.Cols - 1
+	if readers < 1 {
+		readers = 1
+	}
+	switch d {
+	case MWSR:
+		// Each reader owns its home waveguide: the writer modulates
+		// the payload once per reader.
+		per := g.BroadcastEnergy(bits, laser)
+		return BroadcastCost{
+			Discipline:    MWSR,
+			Transmissions: readers,
+			DetectorBanks: g.Cols, // one home bank per tile
+			Energy:        float64(readers) * per,
+			// The transmissions are serialized on the writer's
+			// modulator bank.
+			Latency:     float64(readers)*g.SerializationLatency(bits) + g.FlightTime(),
+			LaunchPower: g.RequiredLaunchPower(),
+		}, nil
+	case SWMR:
+		// One transmission; the optical power splits 1:readers, so the
+		// launch power scales with the reader count, and every tile
+		// detects.
+		launch := g.RequiredLaunchPower() * float64(readers)
+		mod := g.MRR.SwitchEnergyPerBit * float64(bits)
+		duration := g.SerializationLatency(bits)
+		laserE := launch * float64(g.Lanes) * duration / laser.WallPlugEfficiency
+		detect := float64(readers) * g.PD.EnergyPerBit * float64(bits)
+		return BroadcastCost{
+			Discipline:    SWMR,
+			Transmissions: 1,
+			DetectorBanks: g.Cols * readers, // every tile listens to every writer
+			Energy:        mod + laserE + detect,
+			Latency:       duration + g.FlightTime(),
+			LaunchPower:   launch,
+		}, nil
+	default:
+		return BroadcastCost{}, fmt.Errorf("interconnect: unknown discipline %d", int(d))
+	}
+}
+
+// CompareDisciplines prices the same broadcast both ways — the
+// energy-vs-latency trade the paper's related work describes.
+func (g *Grid) CompareDisciplines(bits int, laser photonics.Laser) (mwsr, swmr BroadcastCost, err error) {
+	mwsr, err = g.RowBroadcast(bits, MWSR, laser)
+	if err != nil {
+		return
+	}
+	swmr, err = g.RowBroadcast(bits, SWMR, laser)
+	return
+}

@@ -1,0 +1,90 @@
+package interconnect
+
+import (
+	"testing"
+
+	"pixel/internal/photonics"
+	"pixel/internal/phy"
+)
+
+func testLaser(g *Grid) photonics.Laser {
+	return photonics.DefaultLaser(g.Lanes, g.RequiredLaunchPower())
+}
+
+func TestDisciplineStrings(t *testing.T) {
+	if MWSR.String() != "MWSR" || SWMR.String() != "SWMR" {
+		t.Error("discipline names wrong")
+	}
+}
+
+func TestRowBroadcastValidation(t *testing.T) {
+	g, _ := NewGrid(4, 4, 4, 10*phy.Gigahertz)
+	if _, err := g.RowBroadcast(0, MWSR, testLaser(g)); err == nil {
+		t.Error("zero payload should error")
+	}
+	if _, err := g.RowBroadcast(64, Discipline(9), testLaser(g)); err == nil {
+		t.Error("unknown discipline should error")
+	}
+}
+
+func TestSWMRBroadcastsFasterMWSRCheaperPower(t *testing.T) {
+	g, err := NewGrid(4, 8, 4, 10*phy.Gigahertz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mwsr, swmr, err := g.CompareDisciplines(128, testLaser(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SWMR: one transmission, lowest broadcast latency.
+	if swmr.Transmissions != 1 {
+		t.Errorf("SWMR transmissions = %d, want 1", swmr.Transmissions)
+	}
+	if swmr.Latency >= mwsr.Latency {
+		t.Errorf("SWMR latency %v should beat MWSR %v for broadcast", swmr.Latency, mwsr.Latency)
+	}
+	// MWSR: per-wavelength launch power stays flat; SWMR must feed the
+	// split.
+	if swmr.LaunchPower <= mwsr.LaunchPower {
+		t.Errorf("SWMR launch power %v should exceed MWSR %v", swmr.LaunchPower, mwsr.LaunchPower)
+	}
+	// SWMR carries far more receive hardware.
+	if swmr.DetectorBanks <= mwsr.DetectorBanks {
+		t.Errorf("SWMR detector banks %d should exceed MWSR %d", swmr.DetectorBanks, mwsr.DetectorBanks)
+	}
+	// MWSR repeats the payload once per reader.
+	if mwsr.Transmissions != g.Cols-1 {
+		t.Errorf("MWSR transmissions = %d, want %d", mwsr.Transmissions, g.Cols-1)
+	}
+}
+
+func TestDisciplineTradeoffScalesWithRowSize(t *testing.T) {
+	// The latency gap between the disciplines widens with the row size
+	// (MWSR serializes one transmission per reader).
+	small, _ := NewGrid(2, 2, 4, 10*phy.Gigahertz)
+	big, _ := NewGrid(2, 8, 4, 10*phy.Gigahertz)
+	ms, ss, err := small.CompareDisciplines(64, testLaser(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, sb, err := big.CompareDisciplines(64, testLaser(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapSmall := ms.Latency / ss.Latency
+	gapBig := mb.Latency / sb.Latency
+	if gapBig <= gapSmall {
+		t.Errorf("latency gap should widen with row size: %v -> %v", gapSmall, gapBig)
+	}
+}
+
+func TestSingleColumnRowDegenerates(t *testing.T) {
+	g, _ := NewGrid(4, 1, 4, 10*phy.Gigahertz)
+	mwsr, err := g.RowBroadcast(32, MWSR, testLaser(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mwsr.Transmissions != 1 {
+		t.Errorf("single-tile row should need one transmission, got %d", mwsr.Transmissions)
+	}
+}

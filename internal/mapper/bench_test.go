@@ -1,0 +1,25 @@
+package mapper
+
+import (
+	"testing"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+	"pixel/internal/interconnect"
+	"pixel/internal/phy"
+)
+
+func BenchmarkMapNetworkVGG16(b *testing.B) {
+	g, err := interconnect.NewGrid(4, 4, 4, 10*phy.Gigahertz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := arch.MustConfig(arch.OO, 4, 8)
+	net := cnn.VGG16()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MapNetwork(net, g, cfg, Options{Transport: PhotonicPreload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package omac
+
+import (
+	"fmt"
+
+	"pixel/internal/elec"
+	"pixel/internal/optsim"
+	"pixel/internal/photonics"
+)
+
+// Ensemble simulates the full Figure 2 arrangement at the WDM-bus
+// level: L OMACs in the multiple-write-single-read discipline. OMAC j
+// fires the j-th elements of all L input-neuron lanes on its band of L
+// wavelengths (channel j*L+i carries I[i][j]); every OMAC k receives
+// the full L^2-channel multiplexed signal and implements filter k, its
+// synapse lane i dropping the L wavelengths that carry input lane i.
+//
+// The point of simulating at this level — beyond the per-pair units —
+// is the broadcast economics: each word is modulated and lased ONCE and
+// heard by all L filters, so the ensemble's comm and laser energy are
+// amortized L ways, exactly the "ease of implementing broadcast"
+// advantage the paper claims for photonics.
+type Ensemble struct {
+	cfg      Config
+	budget   photonics.LinkBudget
+	mod      *optsim.Modulator
+	wg       photonics.Waveguide
+	conv     *photonics.OEConverter
+	adder    *elec.CLAAdder
+	shifter  *elec.BarrelShifterFunc
+	accGates elec.GateCount
+	accWidth int
+	mask     uint64
+}
+
+// NewEnsemble builds an L-OMAC hybrid (OE) ensemble for the
+// configuration; the window it executes has L lanes x L elements per
+// filter, so accumulators are sized for L^2 terms.
+func NewEnsemble(cfg Config) (*Ensemble, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	budget := cfg.OELinkBudget()
+	if err := budget.Check(); err != nil {
+		return nil, fmt.Errorf("omac: ensemble link budget: %w", err)
+	}
+	conv, err := photonics.NewOEConverter(budget.ReceivedPower())
+	if err != nil {
+		return nil, err
+	}
+	accWidth := elec.AccumulatorWidth(cfg.Bits, cfg.Lanes*cfg.Lanes)
+	adder, err := elec.NewCLAAdder(accWidth)
+	if err != nil {
+		return nil, err
+	}
+	shifter, err := elec.NewBarrelShifter(accWidth)
+	if err != nil {
+		return nil, err
+	}
+	return &Ensemble{
+		cfg:      cfg,
+		budget:   budget,
+		mod:      optsim.NewModulator(budget.LaserPowerPerWavelength, cfg.Period()),
+		wg:       photonics.DefaultWaveguide(cfg.LinkLength),
+		conv:     conv,
+		adder:    adder,
+		shifter:  shifter,
+		accGates: elec.CLA(accWidth).Chain(elec.BarrelShifter(accWidth)).Add(elec.Register(accWidth)),
+		accWidth: accWidth,
+		mask:     (uint64(1) << uint(cfg.Bits)) - 1,
+	}, nil
+}
+
+// Lanes returns the ensemble's lane/OMAC count.
+func (e *Ensemble) Lanes() int { return e.cfg.Lanes }
+
+// Window executes one full window on the bus:
+//
+//	inputs[i][j]      — element j of input-neuron lane i
+//	synapses[k][i][j] — filter k's weight against that element
+//
+// and returns filter k's accumulation sum_{i,j} I[i][j]*S[k][i][j].
+// inputs must be L x L and synapses L x L x L for lane count L.
+func (e *Ensemble) Window(inputs [][]uint64, synapses [][][]uint64, led *optsim.Ledger) ([]uint64, error) {
+	l := e.cfg.Lanes
+	if len(inputs) != l {
+		return nil, fmt.Errorf("omac: ensemble needs %d input lanes, got %d", l, len(inputs))
+	}
+	for i, lane := range inputs {
+		if len(lane) != l {
+			return nil, fmt.Errorf("omac: input lane %d has %d elements, want %d", i, len(lane), l)
+		}
+		for j, v := range lane {
+			if v > e.mask {
+				return nil, fmt.Errorf("omac: input[%d][%d] exceeds %d-bit range", i, j, e.cfg.Bits)
+			}
+		}
+	}
+	if len(synapses) != l {
+		return nil, fmt.Errorf("omac: ensemble needs %d filters, got %d", l, len(synapses))
+	}
+	for k, f := range synapses {
+		if len(f) != l {
+			return nil, fmt.Errorf("omac: filter %d has %d lanes, want %d", k, len(f), l)
+		}
+		for i, lane := range f {
+			if len(lane) != l {
+				return nil, fmt.Errorf("omac: filter %d lane %d has %d elements, want %d", k, i, len(lane), l)
+			}
+			for j, v := range lane {
+				if v > e.mask {
+					return nil, fmt.Errorf("omac: synapse[%d][%d][%d] exceeds range", k, i, j)
+				}
+			}
+		}
+	}
+
+	bits := e.cfg.Bits
+	acc := make([]uint64, l)
+
+	// STR: one synapse bit position per cycle.
+	for b := 0; b < bits; b++ {
+		// The transmit side: every OMAC j modulates the words I[*][j]
+		// on its band — charged once, heard by all filters.
+		bus := make(optsim.Bus, l*l)
+		for j := 0; j < l; j++ { // writer OMAC j
+			for i := 0; i < l; i++ { // input lane i
+				ch := j*l + i
+				sig := e.mod.Modulate(wordBitsLSB(inputs[i][j], bits), ch, led)
+				bus[ch] = optsim.WaveguideRun(sig, e.wg, led)
+			}
+		}
+		e.cfg.laserEnergy(e.budget.LaserPowerPerWavelength, l*l*bits, led)
+
+		// The receive side: filter k's synapse lane i drops channel
+		// j*l+i through its double-MRR filter gated by synapse bit b.
+		for k := 0; k < l; k++ {
+			for i := 0; i < l; i++ {
+				for j := 0; j < l; j++ {
+					ch := j*l + i
+					filter := photonics.DoubleMRRFilter{
+						Params:  e.cfg.MRR,
+						Channel: ch,
+						On:      (synapses[k][i][j]>>uint(b))&1 == 1,
+					}
+					_, cross := optsim.ANDFilter(bus[ch], &filter, led)
+					gatedBits := optsim.DetectOOK(cross, e.conv, led)
+					var gated uint64
+					for t, bit := range gatedBits {
+						if bit == 1 && t < bits {
+							gated |= 1 << uint(t)
+						}
+					}
+					shifted := e.shifter.ShiftLeft(gated, b)
+					acc[k], _ = e.adder.Add(acc[k], shifted, false)
+					led.Charge(optsim.CatAdd, e.accGates.Energy(e.cfg.Tech))
+				}
+			}
+		}
+		led.AddLatency(e.cfg.Tech.ClockPeriod())
+	}
+	return acc, nil
+}

@@ -1,0 +1,145 @@
+package omac
+
+import (
+	"fmt"
+
+	"pixel/internal/elec"
+	"pixel/internal/optsim"
+	"pixel/internal/photonics"
+)
+
+// OOEnsemble is the all-optical counterpart of Ensemble: the Figure
+// 2(c) arrangement at bus level. Neuron words broadcast once on the
+// WDM bus (as in the OE ensemble); each filter's synapse-bit MRR
+// stages gate per-wavelength copies; per-(filter, lane, element) MZI
+// chains form the products optically; only the digit-merge across
+// products stays electrical.
+type OOEnsemble struct {
+	cfg     Config
+	budget  photonics.LinkBudget
+	mod     *optsim.Modulator
+	wg      photonics.Waveguide
+	conv    *photonics.AmplitudeConverter
+	adder   *elec.CLAAdder
+	merge   elec.GateCount
+	mziOpts optsim.MZIAccumulateOptions
+	mask    uint64
+}
+
+// NewOOEnsemble builds the L-OMAC all-optical ensemble.
+func NewOOEnsemble(cfg Config) (*OOEnsemble, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	budget := cfg.OOLinkBudget()
+	if err := budget.Check(); err != nil {
+		return nil, fmt.Errorf("omac: OO ensemble link budget: %w", err)
+	}
+	unit := budget.LaserPowerPerWavelength
+	for _, db := range cfg.pathLossDB() {
+		unit *= photonics.PowerLoss(db)
+	}
+	conv, err := photonics.NewAmplitudeConverter(unit, cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	conv.Coherent = true
+	accWidth := elec.AccumulatorWidth(cfg.Bits, cfg.Lanes*cfg.Lanes)
+	adder, err := elec.NewCLAAdder(accWidth)
+	if err != nil {
+		return nil, err
+	}
+	return &OOEnsemble{
+		cfg:    cfg,
+		budget: budget,
+		mod:    optsim.NewModulator(budget.LaserPowerPerWavelength, cfg.Period()),
+		wg:     photonics.DefaultWaveguide(cfg.LinkLength),
+		conv:   conv,
+		adder:  adder,
+		merge:  elec.CLA(accWidth),
+		mziOpts: optsim.MZIAccumulateOptions{
+			Params:   cfg.MZI,
+			BitRate:  cfg.BitRate,
+			Lossless: true,
+		},
+		mask: (uint64(1) << uint(cfg.Bits)) - 1,
+	}, nil
+}
+
+// Window executes the full window all-optically; indexing matches
+// Ensemble.Window. Each (filter, lane, element) product forms in one
+// optical pass; the L^2 products per filter merge electrically.
+func (e *OOEnsemble) Window(inputs [][]uint64, synapses [][][]uint64, led *optsim.Ledger) ([]uint64, error) {
+	l := e.cfg.Lanes
+	if len(inputs) != l || len(synapses) != l {
+		return nil, fmt.Errorf("omac: OO ensemble needs %d lanes and filters", l)
+	}
+	bits := e.cfg.Bits
+
+	// One broadcast of every word: modulation and laser charged once
+	// per channel for the whole ensemble (the MWSR amortization).
+	type key struct{ i, j int }
+	gated := make(map[key]*optsim.Signal, l*l)
+	for j := 0; j < l; j++ {
+		if len(inputs[j]) != l {
+			return nil, fmt.Errorf("omac: input lane %d has %d elements, want %d", j, len(inputs[j]), l)
+		}
+		for i := 0; i < l; i++ {
+			if inputs[i][j] > e.mask {
+				return nil, fmt.Errorf("omac: input[%d][%d] exceeds range", i, j)
+			}
+			ch := j*l + i
+			sig := e.mod.Modulate(wordBitsLSB(inputs[i][j], bits), ch, led)
+			gated[key{i, j}] = optsim.WaveguideRun(sig, e.wg, led)
+		}
+	}
+	e.cfg.laserEnergy(e.budget.LaserPowerPerWavelength, l*l*bits*bits, led)
+
+	out := make([]uint64, l)
+	for k, filter := range synapses {
+		if len(filter) != l {
+			return nil, fmt.Errorf("omac: filter %d has %d lanes, want %d", k, len(filter), l)
+		}
+		var acc uint64
+		for i := 0; i < l; i++ {
+			if len(filter[i]) != l {
+				return nil, fmt.Errorf("omac: filter %d lane %d has %d elements, want %d", k, i, len(filter[i]), l)
+			}
+			for j := 0; j < l; j++ {
+				s := filter[i][j]
+				if s > e.mask {
+					return nil, fmt.Errorf("omac: synapse[%d][%d][%d] exceeds range", k, i, j)
+				}
+				// One MRR AND stage per synapse bit, MSB first, each
+				// gating a copy of the broadcast word.
+				stages := make([]*optsim.Signal, bits)
+				for b := 0; b < bits; b++ {
+					sbit := (s >> uint(bits-1-b)) & 1
+					f := photonics.DoubleMRRFilter{
+						Params:  e.cfg.MRR,
+						Channel: gated[key{i, j}].Channel,
+						On:      sbit == 1,
+					}
+					_, cross := optsim.ANDFilter(gated[key{i, j}], &f, led)
+					stages[b] = normalizePulses(cross, e.conv.UnitPower)
+				}
+				train, err := optsim.MZIAccumulate(stages, e.mziOpts, led)
+				if err != nil {
+					return nil, fmt.Errorf("omac: filter %d chain (%d,%d): %w", k, i, j, err)
+				}
+				digits, err := optsim.DetectAmplitude(train, e.conv, led)
+				if err != nil {
+					return nil, err
+				}
+				v, err := optsim.WeightedValue(digits)
+				if err != nil {
+					return nil, err
+				}
+				acc, _ = e.adder.Add(acc, uint64(v), false)
+				led.Charge(optsim.CatAdd, e.merge.Energy(e.cfg.Tech))
+			}
+		}
+		out[k] = acc
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package omac
+
+import (
+	"fmt"
+	"math"
+
+	"pixel/internal/elec"
+	"pixel/internal/optsim"
+	"pixel/internal/photonics"
+)
+
+// OOUnit is the all-optical MAC of Figure 2(c): MRR AND stages followed
+// by a per-wavelength cascaded-MZI chain that shift-accumulates the
+// product optically. Only the final cross-product merge (summing
+// already-formed products across wavelengths) is electrical.
+type OOUnit struct {
+	cfg    Config
+	budget photonics.LinkBudget
+	mod    *optsim.Modulator
+	wg     photonics.Waveguide
+	conv   *photonics.AmplitudeConverter
+	adder  *elec.CLAAdder
+	// mergeGates is the narrow electrical adder that merges
+	// per-wavelength products.
+	mergeGates elec.GateCount
+	accWidth   int
+	mask       uint64
+	mziOpts    optsim.MZIAccumulateOptions
+}
+
+// NewOOUnit builds the all-optical unit. The electrical merge adder is
+// sized for `terms` products. The functional optical chain runs with the
+// lossless idealization (the paper's assumption); the *link budget* and
+// laser energy still pay the full MZI insertion-loss stack, which is why
+// OO needs more laser power than OE (Table II).
+func NewOOUnit(cfg Config, terms int) (*OOUnit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if terms < 1 {
+		return nil, fmt.Errorf("omac: terms must be >= 1")
+	}
+	budget := cfg.OOLinkBudget()
+	if err := budget.Check(); err != nil {
+		return nil, fmt.Errorf("omac: OO link budget: %w", err)
+	}
+	// The amplitude ladder's unit is the single-pulse power at the
+	// detector under the lossless-chain idealization: launch through
+	// the OE-equivalent loss stack (modulator, waveguide, rings).
+	unit := budget.LaserPowerPerWavelength
+	for _, db := range cfg.pathLossDB() {
+		unit *= photonics.PowerLoss(db)
+	}
+	conv, err := photonics.NewAmplitudeConverter(unit, cfg.Bits)
+	if err != nil {
+		return nil, fmt.Errorf("omac: OO amplitude ladder: %w", err)
+	}
+	conv.Coherent = true
+
+	accWidth := elec.AccumulatorWidth(cfg.Bits, terms)
+	adder, err := elec.NewCLAAdder(accWidth)
+	if err != nil {
+		return nil, err
+	}
+	return &OOUnit{
+		cfg:        cfg,
+		budget:     budget,
+		mod:        optsim.NewModulator(budget.LaserPowerPerWavelength, cfg.Period()),
+		wg:         photonics.DefaultWaveguide(cfg.LinkLength),
+		conv:       conv,
+		adder:      adder,
+		mergeGates: elec.CLA(accWidth),
+		accWidth:   accWidth,
+		mask:       (uint64(1) << uint(cfg.Bits)) - 1,
+		mziOpts: optsim.MZIAccumulateOptions{
+			Params:   cfg.MZI,
+			BitRate:  cfg.BitRate,
+			Lossless: true,
+		},
+	}, nil
+}
+
+// Config returns the unit's configuration.
+func (u *OOUnit) Config() Config { return u.cfg }
+
+// LinkBudget returns the optical link budget the unit was built with.
+func (u *OOUnit) LinkBudget() photonics.LinkBudget { return u.budget }
+
+// AccumulatorWidth returns the electrical merge-adder width in bits.
+func (u *OOUnit) AccumulatorWidth() int { return u.accWidth }
+
+// InjectStageSkew adds a per-stage timing fault [s] to the MZI chain —
+// the failure-injection hook for mis-cut inter-stage waveguides.
+func (u *OOUnit) InjectStageSkew(dt float64) { u.mziOpts.StageSkewError = dt }
+
+// Multiply computes neuron*synapse through the all-optical datapath in a
+// single transmission: the neuron word is fired once per synapse-bit
+// filter copy, each filter gates it with its bit, and the MZI chain
+// combines the gated trains with one-slot staggering so the product's
+// digit convolution appears at the output.
+func (u *OOUnit) Multiply(neuron, synapse uint64, led *optsim.Ledger) (uint64, error) {
+	if neuron > u.mask || synapse > u.mask {
+		return 0, fmt.Errorf("omac: operand exceeds %d-bit range", u.cfg.Bits)
+	}
+	bits := u.cfg.Bits
+	train := wordBitsLSB(neuron, bits)
+
+	// One AND stage per synapse bit, most-significant first (stage 0
+	// accumulates the most delay, hence the highest positional weight).
+	inputs := make([]*optsim.Signal, bits)
+	for k := 0; k < bits; k++ {
+		sig := u.mod.Modulate(train, sigChannel, led)
+		sig = optsim.WaveguideRun(sig, u.wg, led)
+		sbit := (synapse >> uint(bits-1-k)) & 1
+		filter := photonics.DoubleMRRFilter{Params: u.cfg.MRR, Channel: sigChannel, On: sbit == 1}
+		_, cross := optsim.ANDFilter(sig, &filter, led)
+		// Functional idealization: normalize the surviving pulses to
+		// unit field so coherent sums land on the ladder's rungs; the
+		// lossy reality is exercised by the failure-injection tests.
+		cross = normalizePulses(cross, u.conv.UnitPower)
+		inputs[k] = cross
+	}
+	u.cfg.laserEnergy(u.budget.LaserPowerPerWavelength, bits*bits, led)
+
+	out, err := optsim.MZIAccumulate(inputs, u.mziOpts, led)
+	if err != nil {
+		return 0, fmt.Errorf("omac: MZI chain: %w", err)
+	}
+	digits, err := optsim.DetectAmplitude(out, u.conv, led)
+	if err != nil {
+		return 0, fmt.Errorf("omac: amplitude detection: %w", err)
+	}
+	v, err := optsim.WeightedValue(digits)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(v), nil
+}
+
+// normalizePulses snaps every non-dark slot to exactly the unit field
+// amplitude, keeping dark slots dark. It models the ideal (lossless,
+// perfectly levelled) pulse regeneration the paper assumes between the
+// AND stage and the accumulation chain.
+func normalizePulses(s *optsim.Signal, unitPower float64) *optsim.Signal {
+	out := s.Clone()
+	unitField := complex(math.Sqrt(unitPower), 0)
+	for i := range out.Amps {
+		if s.Power(i) >= unitPower/4 {
+			out.Amps[i] = unitField
+		} else {
+			out.Amps[i] = 0
+		}
+	}
+	return out
+}
+
+// DotProduct computes the inner product through the all-optical
+// datapath: per-wavelength products form optically; the merge across
+// wavelengths is the one electrical step the OO design keeps.
+func (u *OOUnit) DotProduct(neurons, synapses []uint64, led *optsim.Ledger) (uint64, error) {
+	if len(neurons) != len(synapses) {
+		return 0, fmt.Errorf("omac: vector lengths differ (%d vs %d)", len(neurons), len(synapses))
+	}
+	var acc uint64
+	for i := range neurons {
+		p, err := u.Multiply(neurons[i], synapses[i], led)
+		if err != nil {
+			return 0, fmt.Errorf("omac: lane %d: %w", i, err)
+		}
+		acc, _ = u.adder.Add(acc, p, false)
+		led.Charge(optsim.CatAdd, u.mergeGates.Energy(u.cfg.Tech))
+	}
+	return acc, nil
+}
+
+// Window computes the Figure 2 window through the all-optical datapath;
+// see OEUnit.Window for the indexing convention.
+func (u *OOUnit) Window(inputs [][]uint64, synapses [][][]uint64, led *optsim.Ledger) ([]uint64, error) {
+	out := make([]uint64, len(synapses))
+	for k, filter := range synapses {
+		if len(filter) != len(inputs) {
+			return nil, fmt.Errorf("omac: filter %d has %d lanes, inputs have %d", k, len(filter), len(inputs))
+		}
+		var acc uint64
+		for lane := range filter {
+			v, err := u.DotProduct(inputs[lane], filter[lane], led)
+			if err != nil {
+				return nil, fmt.Errorf("omac: filter %d lane %d: %w", k, lane, err)
+			}
+			acc, _ = u.adder.Add(acc, v, false)
+		}
+		out[k] = acc
+	}
+	return out, nil
+}

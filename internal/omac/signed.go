@@ -1,0 +1,73 @@
+package omac
+
+import (
+	"fmt"
+
+	"pixel/internal/bitserial"
+	"pixel/internal/elec"
+	"pixel/internal/optsim"
+)
+
+// Signed dot products on the optical units. Light carries no sign, so
+// operands travel offset-binary encoded (see bitserial.OffsetCodec):
+// the unsigned optical datapath computes the encoded inner product, and
+// two narrow electrical accumulators (charged to the add category)
+// track the operand sums for the algebraic correction.
+
+// unsignedDotter is the unsigned datapath both optical units expose.
+type unsignedDotter interface {
+	DotProduct(ns, ss []uint64, led *optsim.Ledger) (uint64, error)
+}
+
+// signedDot runs the offset-encode / unsigned-dot / correct pipeline on
+// any unsigned datapath.
+func signedDot(u unsignedDotter, codec *bitserial.OffsetCodec, tech elec.Tech,
+	ns, ss []int64, led *optsim.Ledger) (int64, error) {
+	if len(ns) != len(ss) {
+		return 0, fmt.Errorf("omac: vector lengths differ (%d vs %d)", len(ns), len(ss))
+	}
+	us, err := codec.EncodeVector(ns)
+	if err != nil {
+		return 0, err
+	}
+	ws, err := codec.EncodeVector(ss)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := u.DotProduct(us, ws, led)
+	if err != nil {
+		return 0, err
+	}
+	var sumU, sumW uint64
+	for i := range us {
+		sumU += us[i]
+		sumW += ws[i]
+	}
+	// The two correction accumulators: narrow CLAs, one add each per
+	// term, plus the final three-term correction.
+	corrWidth := codec.Bits() + 8
+	corr := elec.CLA(corrWidth)
+	led.Charge(optsim.CatAdd, float64(2*len(us)+3)*corr.Energy(tech))
+	led.AddLatency(corr.Delay(tech))
+	return codec.Correct(raw, sumU, sumW, len(us))
+}
+
+// SignedDotProduct computes a signed inner product through the hybrid
+// datapath.
+func (u *OEUnit) SignedDotProduct(ns, ss []int64, led *optsim.Ledger) (int64, error) {
+	codec, err := bitserial.NewOffsetCodec(u.cfg.Bits)
+	if err != nil {
+		return 0, err
+	}
+	return signedDot(u, codec, u.cfg.Tech, ns, ss, led)
+}
+
+// SignedDotProduct computes a signed inner product through the
+// all-optical datapath.
+func (u *OOUnit) SignedDotProduct(ns, ss []int64, led *optsim.Ledger) (int64, error) {
+	codec, err := bitserial.NewOffsetCodec(u.cfg.Bits)
+	if err != nil {
+		return 0, err
+	}
+	return signedDot(u, codec, u.cfg.Tech, ns, ss, led)
+}

@@ -1,0 +1,62 @@
+package optsim
+
+import (
+	"math"
+	"math/cmplx"
+
+	"pixel/internal/photonics"
+)
+
+// ApplyCrosstalk returns a copy of the bus where every channel's slots
+// carry the Lorentzian-weighted leakage from all other channels — the
+// functional face of photonics.ChannelPlan's analysis. Leakage from
+// distinct wavelengths adds incoherently (in power), so a dark slot
+// surrounded by lit neighbours gains real power that a downstream OOK
+// slicer may misread: the mechanism behind the plan checker's
+// eye-closure penalty.
+//
+// The plan's Spacing and RingFWHM define the per-channel-offset leakage
+// weights; the bus's channel indices are taken as consecutive grid
+// positions.
+func ApplyCrosstalk(b Bus, plan photonics.ChannelPlan) Bus {
+	out := b.Clone()
+	if len(b) < 2 {
+		return out
+	}
+	slots := 0
+	for _, s := range b {
+		if s != nil && s.Slots() > slots {
+			slots = s.Slots()
+		}
+	}
+	for ci, dst := range out {
+		if dst == nil {
+			continue
+		}
+		dst2 := dst.PadTo(slots)
+		for t := 0; t < slots; t++ {
+			own := dst2.Power(t)
+			leak := 0.0
+			for cj, src := range b {
+				if cj == ci || src == nil {
+					continue
+				}
+				delta := float64(cj-ci) * plan.Spacing
+				leak += plan.DropResponse(delta) * src.Power(t)
+			}
+			if leak == 0 {
+				continue
+			}
+			// Incoherent power addition; keep the victim's phase (or
+			// a reference phase for dark slots).
+			total := own + leak
+			phase := 0.0
+			if own > 0 {
+				phase = cmplx.Phase(dst2.Amps[t])
+			}
+			dst2.Amps[t] = cmplx.Rect(math.Sqrt(total), phase)
+		}
+		out[ci] = dst2
+	}
+	return out
+}

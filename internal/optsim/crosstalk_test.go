@@ -1,0 +1,89 @@
+package optsim
+
+import (
+	"math"
+	"testing"
+
+	"pixel/internal/photonics"
+	"pixel/internal/phy"
+)
+
+// busWithVictim builds a bus where channel mid is dark on slot 0 and
+// every other channel is lit.
+func busWithVictim(channels int) Bus {
+	b := make(Bus, channels)
+	for c := range b {
+		bits := []int{1}
+		if c == channels/2 {
+			bits = []int{0}
+		}
+		b[c] = NewOOK(bits, launch, slot, c)
+	}
+	return b
+}
+
+func TestApplyCrosstalkCleanPlanKeepsBitsReadable(t *testing.T) {
+	// The default 100 GHz / Q~10k plan leaves a dark slot well below
+	// the OOK threshold even with 15 lit neighbours.
+	b := busWithVictim(16)
+	plan := photonics.DefaultChannelPlan(16)
+	out := ApplyCrosstalk(b, plan)
+	victim := out[8].Power(0)
+	if victim >= launch/2 {
+		t.Errorf("victim power %v crosses the slicer threshold %v under a clean plan", victim, launch/2)
+	}
+	if victim == 0 {
+		t.Error("crosstalk should add some power to the dark slot")
+	}
+	// Lit slots keep roughly their power (gain only leakage).
+	if out[0].Power(0) < launch {
+		t.Error("lit slots must not lose power to crosstalk")
+	}
+}
+
+func TestApplyCrosstalkDensePlanFlipsBits(t *testing.T) {
+	// A 4x denser grid with broad rings: the dark slot collects enough
+	// neighbour power to read as a one — the functional counterpart of
+	// ChannelPlan.Check failing.
+	b := busWithVictim(16)
+	plan := photonics.DefaultChannelPlan(16)
+	plan.Spacing = 0.2 * phy.Nanometer
+	plan.RingFWHM = 0.3 * phy.Nanometer
+	if err := plan.Check(); err == nil {
+		t.Fatal("precondition: the dense plan should fail its budget")
+	}
+	out := ApplyCrosstalk(b, plan)
+	victim := out[8].Power(0)
+	if victim < launch/2 {
+		t.Errorf("victim power %v should cross the slicer threshold under the dense plan", victim)
+	}
+}
+
+func TestApplyCrosstalkPreservesOriginal(t *testing.T) {
+	b := busWithVictim(4)
+	before := b[2].Power(0)
+	_ = ApplyCrosstalk(b, photonics.DefaultChannelPlan(4))
+	if b[2].Power(0) != before {
+		t.Error("ApplyCrosstalk must not mutate its input")
+	}
+}
+
+func TestApplyCrosstalkSingleChannelNoop(t *testing.T) {
+	b := Bus{NewOOK([]int{1, 0}, launch, slot, 0)}
+	out := ApplyCrosstalk(b, photonics.DefaultChannelPlan(1))
+	for i := 0; i < 2; i++ {
+		if math.Abs(out[0].Power(i)-b[0].Power(i)) > 1e-18 {
+			t.Error("single-channel bus must be unchanged")
+		}
+	}
+}
+
+func TestApplyCrosstalkHandlesNilChannels(t *testing.T) {
+	b := make(Bus, 3)
+	b[0] = NewOOK([]int{1}, launch, slot, 0)
+	// b[1], b[2] nil.
+	out := ApplyCrosstalk(b, photonics.DefaultChannelPlan(3))
+	if out[0] == nil || out[1] != nil {
+		t.Error("nil channels should pass through")
+	}
+}

@@ -1,0 +1,137 @@
+package optsim
+
+import (
+	"fmt"
+
+	"pixel/internal/photonics"
+)
+
+// Standard Node implementations wrapping the element functions, so
+// datapaths can be expressed as netlists.
+
+// SourceNode emits a fixed signal (no inputs, one output).
+type SourceNode struct {
+	Label  string
+	Signal *Signal
+}
+
+// Name implements Node.
+func (s *SourceNode) Name() string { return "source:" + s.Label }
+
+// Ports implements Node.
+func (s *SourceNode) Ports() (int, int) { return 0, 1 }
+
+// Eval implements Node.
+func (s *SourceNode) Eval(_ []*Signal, _ *Ledger) ([]*Signal, error) {
+	if s.Signal == nil {
+		return nil, fmt.Errorf("source %q has no signal", s.Label)
+	}
+	return []*Signal{s.Signal.Clone()}, nil
+}
+
+// WaveguideNode propagates its input through a waveguide run (one in,
+// one out).
+type WaveguideNode struct {
+	Label     string
+	Waveguide photonics.Waveguide
+}
+
+// Name implements Node.
+func (w *WaveguideNode) Name() string { return "waveguide:" + w.Label }
+
+// Ports implements Node.
+func (w *WaveguideNode) Ports() (int, int) { return 1, 1 }
+
+// Eval implements Node.
+func (w *WaveguideNode) Eval(in []*Signal, led *Ledger) ([]*Signal, error) {
+	return []*Signal{WaveguideRun(in[0], w.Waveguide, led)}, nil
+}
+
+// FilterNode applies a double-MRR filter (one in; bar and cross out).
+type FilterNode struct {
+	Label  string
+	Filter *photonics.DoubleMRRFilter
+}
+
+// Name implements Node.
+func (f *FilterNode) Name() string { return "mrr:" + f.Label }
+
+// Ports implements Node.
+func (f *FilterNode) Ports() (int, int) { return 1, 2 }
+
+// Eval implements Node.
+func (f *FilterNode) Eval(in []*Signal, led *Ledger) ([]*Signal, error) {
+	bar, cross := ANDFilter(in[0], f.Filter, led)
+	return []*Signal{bar, cross}, nil
+}
+
+// DelayNode delays its input by whole bit slots.
+type DelayNode struct {
+	Label string
+	Slots int
+}
+
+// Name implements Node.
+func (d *DelayNode) Name() string { return "delay:" + d.Label }
+
+// Ports implements Node.
+func (d *DelayNode) Ports() (int, int) { return 1, 1 }
+
+// Eval implements Node.
+func (d *DelayNode) Eval(in []*Signal, _ *Ledger) ([]*Signal, error) {
+	if d.Slots < 0 {
+		return nil, fmt.Errorf("delay %q has negative slots", d.Label)
+	}
+	return []*Signal{in[0].DelaySlots(d.Slots)}, nil
+}
+
+// CombinerNode coherently combines two inputs into one output (a tuned
+// MZI coupler steering all power to one port), charging per-slot MZI
+// energy.
+type CombinerNode struct {
+	Label string
+	// Params prices the stage; Tolerance bounds input skew (zero means
+	// a quarter slot).
+	Params    photonics.MZIParams
+	Tolerance float64
+	// Lossless applies the functional idealization.
+	Lossless bool
+}
+
+// Name implements Node.
+func (m *CombinerNode) Name() string { return "mzi:" + m.Label }
+
+// Ports implements Node.
+func (m *CombinerNode) Ports() (int, int) { return 2, 1 }
+
+// Eval implements Node.
+func (m *CombinerNode) Eval(in []*Signal, led *Ledger) ([]*Signal, error) {
+	tol := m.Tolerance
+	if tol == 0 {
+		tol = in[0].Period / 4
+	}
+	out, err := Combine(in[0], in[1], tol)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Lossless {
+		out.Scale(complex(photonics.FieldLoss(m.Params.InsertionLossDB), 0))
+	}
+	led.Charge(CatAdd, m.Params.ModulationEnergyPerBit*float64(out.Slots()))
+	return []*Signal{out}, nil
+}
+
+// TapNode passes its input through unchanged; useful as a named probe
+// point in generated netlists.
+type TapNode struct{ Label string }
+
+// Name implements Node.
+func (t *TapNode) Name() string { return "tap:" + t.Label }
+
+// Ports implements Node.
+func (t *TapNode) Ports() (int, int) { return 1, 1 }
+
+// Eval implements Node.
+func (t *TapNode) Eval(in []*Signal, _ *Ledger) ([]*Signal, error) {
+	return []*Signal{in[0].Clone()}, nil
+}

@@ -1,0 +1,69 @@
+package photonics
+
+import (
+	"fmt"
+	"math"
+
+	"pixel/internal/phy"
+)
+
+// Free-spectral-range analysis. A microring resonates at every
+// wavelength where an integer number of waves fits its circumference,
+// so its resonances repeat every FSR:
+//
+//	FSR = lambda^2 / (n_g * 2*pi*R)
+//
+// A ring filter can only address channels unambiguously within one
+// FSR: a ring tuned to channel k also drops channel k + FSR/spacing.
+// This bounds how many *distinct* channels a bank of single rings can
+// demultiplex — a physical ceiling the paper's 128-wavelength comb
+// assumption runs into with 7.5 um rings (the reproduction documents
+// it; see EXPERIMENTS.md).
+
+// GroupIndexSi is the group index of a silicon strip waveguide around
+// 1550 nm (higher than the phase index n = 3.48 because of
+// dispersion).
+const GroupIndexSi = 4.2
+
+// FSR returns the free spectral range [m] of a ring of the given
+// radius at the given center wavelength.
+func FSR(radius, lambda float64) float64 {
+	if radius <= 0 || lambda <= 0 {
+		panic("photonics: FSR needs positive radius and wavelength")
+	}
+	return lambda * lambda / (GroupIndexSi * 2 * math.Pi * radius)
+}
+
+// MaxUnambiguousChannels returns how many channels of the given
+// spacing fit within one FSR of a ring of the given radius — the
+// largest bank a single-ring-per-channel design can address without
+// aliasing.
+func MaxUnambiguousChannels(radius, lambda, spacing float64) int {
+	if spacing <= 0 {
+		panic("photonics: spacing must be positive")
+	}
+	n := int(FSR(radius, lambda) / spacing)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// CheckFSR reports an error when a channel plan exceeds the
+// unambiguous range of rings with the given radius, naming the alias
+// distance. Designs that need more channels must use higher-order
+// (e.g. double-ring Vernier) filters or interleavers.
+func (p ChannelPlan) CheckFSR(radius float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	const lambda = 1550 * phy.Nanometer
+	limit := MaxUnambiguousChannels(radius, lambda, p.Spacing)
+	if p.Channels > limit {
+		return fmt.Errorf(
+			"photonics: %d channels exceed one FSR of a %.2g um ring (%.2f nm -> %d unambiguous channels at %.2g nm spacing): channel k aliases with k+%d",
+			p.Channels, radius/phy.Micrometer,
+			FSR(radius, lambda)/phy.Nanometer, limit, p.Spacing/phy.Nanometer, limit)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package photonics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pixel/internal/phy"
+)
+
+func TestFSRKnownValue(t *testing.T) {
+	// 7.5 um ring at 1550 nm with n_g = 4.2:
+	// FSR = (1.55e-6)^2 / (4.2 * 2*pi*7.5e-6) ~= 12.1 nm.
+	got := FSR(7.5*phy.Micrometer, 1550*phy.Nanometer)
+	if math.Abs(got-12.1e-9) > 0.3e-9 {
+		t.Errorf("FSR = %v, want ~12.1nm", got)
+	}
+	// Smaller rings have wider FSRs.
+	small := FSR(3*phy.Micrometer, 1550*phy.Nanometer)
+	if small <= got {
+		t.Error("smaller ring should have a larger FSR")
+	}
+}
+
+func TestFSRPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { FSR(0, 1550*phy.Nanometer) },
+		func() { FSR(7.5*phy.Micrometer, 0) },
+		func() { MaxUnambiguousChannels(7.5*phy.Micrometer, 1550*phy.Nanometer, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxUnambiguousChannels(t *testing.T) {
+	// ~12.1 nm FSR / 0.8 nm spacing = 15 channels.
+	got := MaxUnambiguousChannels(7.5*phy.Micrometer, 1550*phy.Nanometer, 0.8*phy.Nanometer)
+	if got != 15 {
+		t.Errorf("unambiguous channels = %d, want 15", got)
+	}
+	// Degenerate case floors at 1.
+	if MaxUnambiguousChannels(1*phy.Millimeter, 1550*phy.Nanometer, 0.8*phy.Nanometer) != 1 {
+		t.Error("giant ring should floor at 1 channel")
+	}
+}
+
+func TestCheckFSRFindsPaperTension(t *testing.T) {
+	// The paper assumes up to 128 wavelengths per waveguide with
+	// 7.5 um rings — more than 8x the single-ring unambiguous range.
+	// The reproduction surfaces this rather than silently allowing it.
+	plan := DefaultChannelPlan(128)
+	err := plan.CheckFSR(7.5 * phy.Micrometer)
+	if err == nil {
+		t.Fatal("128 channels should exceed the 7.5um ring FSR")
+	}
+	if !strings.Contains(err.Error(), "aliases") {
+		t.Errorf("error should explain aliasing: %v", err)
+	}
+	// A 15-channel plan fits.
+	if err := DefaultChannelPlan(15).CheckFSR(7.5 * phy.Micrometer); err != nil {
+		t.Errorf("15 channels should fit one FSR: %v", err)
+	}
+	// PIXEL's own 4-lane and 8-lane OMAC groups (16/64 wavelengths for
+	// L^2) are near or past the edge; the 4-lane point fits.
+	if err := DefaultChannelPlan(4).CheckFSR(7.5 * phy.Micrometer); err != nil {
+		t.Errorf("4 channels must fit: %v", err)
+	}
+	// Invalid plans propagate their validation error.
+	bad := DefaultChannelPlan(8)
+	bad.Spacing = 0
+	if err := bad.CheckFSR(7.5 * phy.Micrometer); err == nil {
+		t.Error("invalid plan should error")
+	}
+}

@@ -1,0 +1,61 @@
+package photonics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Monte-Carlo validation of the analytic receiver model: simulate OOK
+// decisions with per-bit Gaussian noise (the shot + thermal model of
+// ReceiverNoise) and count errors. Used by tests to confirm the closed
+// form and by studies that need error positions, not just rates.
+
+// MonteCarloBER simulates `trials` bit decisions (half ones, half
+// zeros) at the given received "one" power [W] and returns the
+// measured error rate. The decision threshold sits at the
+// noise-weighted midpoint, matching the Q-factor derivation.
+func (r ReceiverNoise) MonteCarloBER(onePower float64, trials int, rng *rand.Rand) (float64, error) {
+	if onePower <= 0 {
+		return 0, fmt.Errorf("photonics: one power must be positive")
+	}
+	if trials < 2 {
+		return 0, fmt.Errorf("photonics: need at least 2 trials")
+	}
+	if rng == nil {
+		return 0, fmt.Errorf("photonics: nil RNG")
+	}
+	i1 := r.Detector.Current(onePower)
+	shot := math.Sqrt(2 * electronCharge * i1 * r.Bandwidth)
+	thermal := r.ThermalCurrent * math.Sqrt(r.Bandwidth)
+	sigma1 := math.Sqrt(shot*shot + thermal*thermal)
+	sigma0 := thermal
+	// Optimal threshold for unequal variances (Q-factor convention):
+	// the level where both error probabilities match.
+	threshold := (sigma0*i1 + sigma1*0) / (sigma0 + sigma1)
+
+	errors := 0
+	for t := 0; t < trials; t++ {
+		if t%2 == 0 {
+			// Transmit a one.
+			sample := i1 + sigma1*rng.NormFloat64()
+			if sample < threshold {
+				errors++
+			}
+		} else {
+			// Transmit a zero (dark).
+			sample := sigma0 * rng.NormFloat64()
+			if sample >= threshold {
+				errors++
+			}
+		}
+	}
+	return float64(errors) / float64(trials), nil
+}
+
+// PowerForBER returns the received power [W] whose *analytic* BER
+// equals the target — a convenience wrapper over RequiredPower for
+// studies that then Monte-Carlo that operating point.
+func (r ReceiverNoise) PowerForBER(target float64) (float64, error) {
+	return r.RequiredPower(target)
+}

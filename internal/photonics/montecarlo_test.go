@@ -1,0 +1,59 @@
+package photonics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMonteCarloMatchesAnalyticBER(t *testing.T) {
+	rx := DefaultReceiverNoise()
+	// Operating point with a high enough BER that 400k trials resolve
+	// it tightly: target 1e-2.
+	p, err := rx.PowerForBER(1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := rx.BER(p)
+	rng := rand.New(rand.NewSource(42))
+	const trials = 400_000
+	measured, err := rx.MonteCarloBER(p, trials, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binomial 3-sigma band around the analytic value.
+	sigma := math.Sqrt(analytic * (1 - analytic) / trials)
+	if diff := math.Abs(measured - analytic); diff > 3*sigma+1e-4 {
+		t.Errorf("measured BER %.4g vs analytic %.4g (3-sigma %.4g)", measured, analytic, 3*sigma)
+	}
+}
+
+func TestMonteCarloBERFallsWithPower(t *testing.T) {
+	rx := DefaultReceiverNoise()
+	rng := rand.New(rand.NewSource(7))
+	low, err := rx.MonteCarloBER(2e-6, 100_000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := rx.MonteCarloBER(8e-6, 100_000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high >= low {
+		t.Errorf("BER should fall with power: %v -> %v", low, high)
+	}
+}
+
+func TestMonteCarloBERValidation(t *testing.T) {
+	rx := DefaultReceiverNoise()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := rx.MonteCarloBER(0, 100, rng); err == nil {
+		t.Error("zero power should error")
+	}
+	if _, err := rx.MonteCarloBER(1e-6, 1, rng); err == nil {
+		t.Error("one trial should error")
+	}
+	if _, err := rx.MonteCarloBER(1e-6, 100, nil); err == nil {
+		t.Error("nil RNG should error")
+	}
+}

@@ -1,0 +1,74 @@
+package photonics
+
+import (
+	"fmt"
+
+	"pixel/internal/phy"
+)
+
+// SOA models a semiconductor optical amplifier — the gain element that
+// makes deep OO accumulation chains practical. The failure-injection
+// tests show that per-stage MZI insertion loss skews the amplitude
+// levels of long chains until the comparator ladder misreads them; an
+// SOA inserted in the chain restores the levels at the cost of
+// electrical pump power (and, in reality, ASE noise, modeled as a
+// noise-figure bookkeeping entry for link budgets).
+type SOA struct {
+	// GainDB is the optical power gain [dB].
+	GainDB float64
+	// NoiseFigureDB degrades the link budget margin [dB].
+	NoiseFigureDB float64
+	// PumpPower is the electrical drive [W].
+	PumpPower float64
+	// Area is the device footprint [m^2].
+	Area float64
+}
+
+// DefaultSOA returns a 10 dB on-chip SOA.
+func DefaultSOA() SOA {
+	return SOA{
+		GainDB:        10,
+		NoiseFigureDB: 6,
+		PumpPower:     20 * phy.Milliwatt,
+		Area:          500 * phy.Micrometer * 2 * phy.Micrometer,
+	}
+}
+
+// Validate reports an error for non-physical parameters.
+func (s SOA) Validate() error {
+	switch {
+	case s.GainDB <= 0:
+		return fmt.Errorf("photonics: SOA gain must be positive")
+	case s.NoiseFigureDB < 3:
+		return fmt.Errorf("photonics: SOA noise figure below the 3 dB quantum limit")
+	case s.PumpPower <= 0 || s.Area <= 0:
+		return fmt.Errorf("photonics: SOA pump/area must be positive")
+	}
+	return nil
+}
+
+// FieldGain returns the multiplicative field amplitude factor.
+func (s SOA) FieldGain() float64 {
+	return 1 / FieldLoss(s.GainDB) // sqrt of the linear power gain
+}
+
+// Energy returns the pump energy over a duration [J].
+func (s SOA) Energy(duration float64) float64 {
+	return s.PumpPower * duration
+}
+
+// MatchLoss returns an SOA whose gain exactly cancels the given loss
+// [dB] (the per-stage compensation the OO chain uses), based on the
+// template's pump scaling: pump power scales linearly with gain.
+func (s SOA) MatchLoss(lossDB float64) (SOA, error) {
+	if lossDB <= 0 {
+		return SOA{}, fmt.Errorf("photonics: loss to match must be positive")
+	}
+	out := s
+	out.GainDB = lossDB
+	out.PumpPower = s.PumpPower * lossDB / s.GainDB
+	if err := out.Validate(); err != nil {
+		return SOA{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+
+	"pixel/internal/phy"
+)
+
+func TestSOAValidate(t *testing.T) {
+	if err := DefaultSOA().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultSOA()
+	bad.GainDB = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero gain should fail")
+	}
+	bad = DefaultSOA()
+	bad.NoiseFigureDB = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("sub-quantum noise figure should fail")
+	}
+	bad = DefaultSOA()
+	bad.PumpPower = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero pump should fail")
+	}
+}
+
+func TestSOAFieldGain(t *testing.T) {
+	s := DefaultSOA() // 10 dB power gain = 10x power = sqrt(10) field
+	if got := s.FieldGain(); math.Abs(got-math.Sqrt(10)) > 1e-12 {
+		t.Errorf("field gain = %v, want sqrt(10)", got)
+	}
+	// Gain exactly cancels an equal loss.
+	if got := s.FieldGain() * FieldLoss(10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("gain*loss = %v, want 1", got)
+	}
+}
+
+func TestSOAEnergy(t *testing.T) {
+	s := DefaultSOA()
+	if got := s.Energy(1 * phy.Nanosecond); math.Abs(got-20*phy.Picojoule) > 1e-18 {
+		t.Errorf("1ns pump energy = %v, want 20pJ", got)
+	}
+}
+
+func TestSOAMatchLoss(t *testing.T) {
+	s := DefaultSOA()
+	m, err := s.MatchLoss(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GainDB != 0.8 {
+		t.Errorf("matched gain = %v", m.GainDB)
+	}
+	// Pump scales with gain: 0.8/10 of the template.
+	if math.Abs(m.PumpPower-1.6*phy.Milliwatt) > 1e-12 {
+		t.Errorf("matched pump = %v, want 1.6mW", m.PumpPower)
+	}
+	if _, err := s.MatchLoss(0); err == nil {
+		t.Error("zero loss should error")
+	}
+}

@@ -1,0 +1,183 @@
+package photonics
+
+import (
+	"fmt"
+	"math"
+
+	"pixel/internal/phy"
+)
+
+// WDM channel-plan analysis: how many lanes can share a waveguide
+// before inter-channel crosstalk through the ring filters closes the
+// eye. A ring's drop response is modeled as a Lorentzian of the given
+// FWHM; every other channel on the grid leaks into the drop port
+// attenuated by that response.
+
+// ChannelPlan describes a WDM grid feeding ring filter banks.
+type ChannelPlan struct {
+	// Channels is the number of wavelengths on the waveguide.
+	Channels int
+	// Spacing is the grid pitch [m]; 0.8 nm = 100 GHz at 1550 nm.
+	Spacing float64
+	// RingFWHM is the ring drop response's full width at half maximum
+	// [m]; FWHM = lambda / Q (about 0.16 nm for Q = 10k at 1550 nm).
+	RingFWHM float64
+	// MaxPenaltyDB is the crosstalk power-penalty budget [dB].
+	MaxPenaltyDB float64
+}
+
+// DefaultChannelPlan returns a 100 GHz grid with Q~10k rings and a 1 dB
+// crosstalk budget.
+func DefaultChannelPlan(channels int) ChannelPlan {
+	return ChannelPlan{
+		Channels:     channels,
+		Spacing:      0.8 * phy.Nanometer,
+		RingFWHM:     0.155 * phy.Nanometer,
+		MaxPenaltyDB: 1.0,
+	}
+}
+
+// Validate reports an error for non-physical plans.
+func (p ChannelPlan) Validate() error {
+	switch {
+	case p.Channels < 1 || p.Channels > 128:
+		return fmt.Errorf("photonics: channel count %d out of range [1,128]", p.Channels)
+	case p.Spacing <= 0 || p.RingFWHM <= 0:
+		return fmt.Errorf("photonics: spacing and FWHM must be positive")
+	case p.MaxPenaltyDB <= 0:
+		return fmt.Errorf("photonics: penalty budget must be positive")
+	}
+	return nil
+}
+
+// DropResponse returns the ring's power transmission at a wavelength
+// offset delta [m] from resonance (Lorentzian).
+func (p ChannelPlan) DropResponse(delta float64) float64 {
+	x := 2 * delta / p.RingFWHM
+	return 1 / (1 + x*x)
+}
+
+// WorstCrosstalk returns the worst-case aggregate crosstalk-to-signal
+// power ratio at any drop port: the middle channel collects leakage
+// from every neighbour at multiples of the spacing.
+func (p ChannelPlan) WorstCrosstalk() float64 {
+	if p.Channels == 1 {
+		return 0
+	}
+	mid := p.Channels / 2
+	total := 0.0
+	for c := 0; c < p.Channels; c++ {
+		if c == mid {
+			continue
+		}
+		delta := float64(c-mid) * p.Spacing
+		total += p.DropResponse(delta)
+	}
+	return total
+}
+
+// PowerPenaltyDB returns the eye-closure power penalty [dB] from the
+// worst-case crosstalk: penalty = -10*log10(1 - 2*X) for crosstalk
+// ratio X (standard incoherent-crosstalk bound).
+func (p ChannelPlan) PowerPenaltyDB() (float64, error) {
+	x := p.WorstCrosstalk()
+	if x >= 0.5 {
+		return math.Inf(1), fmt.Errorf("photonics: crosstalk ratio %.3f closes the eye completely", x)
+	}
+	return -10 * math.Log10(1-2*x), nil
+}
+
+// Check reports an error when the plan exceeds its crosstalk budget.
+func (p ChannelPlan) Check() error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	pen, err := p.PowerPenaltyDB()
+	if err != nil {
+		return err
+	}
+	if pen > p.MaxPenaltyDB {
+		return fmt.Errorf(
+			"photonics: WDM plan with %d channels at %.2g nm spacing incurs %.2f dB crosstalk penalty (budget %.2f dB)",
+			p.Channels, p.Spacing/phy.Nanometer, pen, p.MaxPenaltyDB)
+	}
+	return nil
+}
+
+// MaxChannels returns the largest channel count that stays within the
+// plan's penalty budget at its spacing and ring linewidth.
+func (p ChannelPlan) MaxChannels() int {
+	for n := 128; n >= 1; n-- {
+		trial := p
+		trial.Channels = n
+		if trial.Check() == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// ReceiverNoise models the photodiode front end's noise for BER
+// estimation.
+type ReceiverNoise struct {
+	Detector Photodetector
+	// ThermalCurrent is the input-referred thermal noise current
+	// [A/sqrt(Hz)] of the TIA.
+	ThermalCurrent float64
+	// Bandwidth is the receiver bandwidth [Hz].
+	Bandwidth float64
+}
+
+// DefaultReceiverNoise returns a 10 GHz-class receiver noise model.
+func DefaultReceiverNoise() ReceiverNoise {
+	return ReceiverNoise{
+		Detector:       DefaultPhotodetector(),
+		ThermalCurrent: 10e-12, // 10 pA/sqrt(Hz)
+		Bandwidth:      7 * phy.Gigahertz,
+	}
+}
+
+// electronCharge [C].
+const electronCharge = 1.602176634e-19
+
+// QFactor returns the OOK Q factor at the given received "one" power
+// [W] with an ideally dark zero level.
+func (r ReceiverNoise) QFactor(onePower float64) float64 {
+	if onePower <= 0 {
+		return 0
+	}
+	i1 := r.Detector.Current(onePower)
+	shot := math.Sqrt(2 * electronCharge * i1 * r.Bandwidth)
+	thermal := r.ThermalCurrent * math.Sqrt(r.Bandwidth)
+	sigma1 := math.Sqrt(shot*shot + thermal*thermal)
+	sigma0 := thermal
+	return i1 / (sigma1 + sigma0)
+}
+
+// BER returns the OOK bit-error rate at the given received power via
+// BER = 0.5*erfc(Q/sqrt(2)).
+func (r ReceiverNoise) BER(onePower float64) float64 {
+	q := r.QFactor(onePower)
+	return 0.5 * math.Erfc(q/math.Sqrt2)
+}
+
+// RequiredPower returns the received "one" power [W] for the target
+// BER, found by bisection over a realistic power range.
+func (r ReceiverNoise) RequiredPower(targetBER float64) (float64, error) {
+	if targetBER <= 0 || targetBER >= 0.5 {
+		return 0, fmt.Errorf("photonics: target BER %g out of (0, 0.5)", targetBER)
+	}
+	lo, hi := 1e-9, 1e-1 // 1 nW .. 100 mW
+	if r.BER(hi) > targetBER {
+		return 0, fmt.Errorf("photonics: target BER %g unreachable below 100 mW", targetBER)
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		if r.BER(mid) > targetBER {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

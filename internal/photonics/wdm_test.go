@@ -1,0 +1,153 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+
+	"pixel/internal/phy"
+)
+
+func TestChannelPlanValidate(t *testing.T) {
+	if err := DefaultChannelPlan(16).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ChannelPlan{
+		DefaultChannelPlan(0),
+		DefaultChannelPlan(200),
+		{Channels: 8, Spacing: 0, RingFWHM: 1e-10, MaxPenaltyDB: 1},
+		{Channels: 8, Spacing: 1e-9, RingFWHM: 1e-10, MaxPenaltyDB: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestDropResponseShape(t *testing.T) {
+	p := DefaultChannelPlan(8)
+	if got := p.DropResponse(0); got != 1 {
+		t.Errorf("on-resonance response = %v, want 1", got)
+	}
+	// Half maximum at half the FWHM.
+	if got := p.DropResponse(p.RingFWHM / 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("response at FWHM/2 = %v, want 0.5", got)
+	}
+	// Monotone falling with offset.
+	if p.DropResponse(p.Spacing) >= p.DropResponse(p.Spacing/2) {
+		t.Error("response must fall with offset")
+	}
+	// Symmetric.
+	if p.DropResponse(1e-10) != p.DropResponse(-1e-10) {
+		t.Error("response must be symmetric")
+	}
+}
+
+func TestWorstCrosstalkGrowsWithChannels(t *testing.T) {
+	if got := DefaultChannelPlan(1).WorstCrosstalk(); got != 0 {
+		t.Errorf("single channel crosstalk = %v, want 0", got)
+	}
+	prev := 0.0
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128} {
+		x := DefaultChannelPlan(n).WorstCrosstalk()
+		if x <= prev {
+			t.Errorf("crosstalk should grow with channels: %d -> %v", n, x)
+		}
+		prev = x
+	}
+}
+
+func TestDefaultPlanCloses128Channels(t *testing.T) {
+	// The paper's comb laser supports 128 wavelengths; the default
+	// 100 GHz / Q~10k plan must stay within its 1 dB budget there.
+	p := DefaultChannelPlan(128)
+	if err := p.Check(); err != nil {
+		t.Errorf("128-channel default plan should pass: %v", err)
+	}
+	pen, err := p.PowerPenaltyDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen <= 0 || pen > 1 {
+		t.Errorf("penalty = %v dB, want (0,1]", pen)
+	}
+}
+
+func TestDenseGridFailsBudget(t *testing.T) {
+	// Halving the spacing twice with broad rings must blow the budget.
+	p := DefaultChannelPlan(64)
+	p.Spacing = 0.2 * phy.Nanometer
+	p.RingFWHM = 0.3 * phy.Nanometer
+	if err := p.Check(); err == nil {
+		t.Error("dense plan with broad rings should fail the budget")
+	}
+}
+
+func TestMaxChannels(t *testing.T) {
+	p := DefaultChannelPlan(1)
+	if got := p.MaxChannels(); got != 128 {
+		t.Errorf("default plan MaxChannels = %d, want 128", got)
+	}
+	tight := p
+	tight.Spacing = 0.2 * phy.Nanometer
+	tight.RingFWHM = 0.3 * phy.Nanometer
+	got := tight.MaxChannels()
+	if got >= 64 || got < 1 {
+		t.Errorf("tight plan MaxChannels = %d, want a small count", got)
+	}
+}
+
+func TestEyeFullyClosedReported(t *testing.T) {
+	p := DefaultChannelPlan(128)
+	p.RingFWHM = 3 * phy.Nanometer // rings wider than the whole grid
+	if _, err := p.PowerPenaltyDB(); err == nil {
+		t.Error("total eye closure must be reported")
+	}
+}
+
+func TestQFactorAndBERMonotone(t *testing.T) {
+	r := DefaultReceiverNoise()
+	q1 := r.QFactor(10 * phy.Microwatt)
+	q2 := r.QFactor(100 * phy.Microwatt)
+	if q2 <= q1 || q1 <= 0 {
+		t.Errorf("Q must grow with power: %v -> %v", q1, q2)
+	}
+	b1 := r.BER(10 * phy.Microwatt)
+	b2 := r.BER(100 * phy.Microwatt)
+	if b2 >= b1 {
+		t.Errorf("BER must fall with power: %v -> %v", b1, b2)
+	}
+	if r.QFactor(0) != 0 || r.BER(0) != 0.5 {
+		t.Error("dark input: Q=0, BER=0.5")
+	}
+}
+
+func TestRequiredPowerHitsTargetBER(t *testing.T) {
+	r := DefaultReceiverNoise()
+	p, err := r.RequiredPower(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.BER(p); got > 1.1e-12 {
+		t.Errorf("BER at required power = %v, want <= 1e-12", got)
+	}
+	// Just below the required power the BER misses the target.
+	if got := r.BER(p * 0.8); got < 1e-12 {
+		t.Errorf("BER below required power = %v, should exceed target", got)
+	}
+	// The -20 dBm-class sensitivity should correspond to a practical
+	// 1e-12 requirement within an order of magnitude.
+	if p < phy.Microwatt || p > 100*phy.Microwatt {
+		t.Errorf("required power = %v, want uW-class", p)
+	}
+}
+
+func TestRequiredPowerValidation(t *testing.T) {
+	r := DefaultReceiverNoise()
+	if _, err := r.RequiredPower(0); err == nil {
+		t.Error("BER 0 should error")
+	}
+	if _, err := r.RequiredPower(0.6); err == nil {
+		t.Error("BER 0.6 should error")
+	}
+}

@@ -1,0 +1,222 @@
+package phy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		lin := math.Abs(raw)
+		if lin == 0 || math.IsInf(lin, 0) || math.IsNaN(lin) || lin > 1e100 || lin < 1e-100 {
+			return true
+		}
+		return almostEq(FromDB(DB(lin)), lin, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBKnownValues(t *testing.T) {
+	if got := DB(10); !almostEq(got, 10, 1e-12) {
+		t.Errorf("DB(10) = %v, want 10", got)
+	}
+	if got := DB(0.5); !almostEq(got, -3.0102999566, 1e-9) {
+		t.Errorf("DB(0.5) = %v", got)
+	}
+	if got := FromDB(3); !almostEq(got, 1.9952623149, 1e-9) {
+		t.Errorf("FromDB(3) = %v", got)
+	}
+}
+
+func TestDBmRoundTrip(t *testing.T) {
+	for _, w := range []float64{1e-6, 1e-3, 0.25, 2} {
+		if got := FromDBm(DBm(w)); !almostEq(got, w, 1e-12) {
+			t.Errorf("FromDBm(DBm(%v)) = %v", w, got)
+		}
+	}
+	if got := DBm(1 * Milliwatt); !almostEq(got, 0, 1e-12) && got != 0 {
+		t.Errorf("DBm(1mW) = %v, want 0", got)
+	}
+}
+
+func TestAttenuationLinear(t *testing.T) {
+	// Paper: silicon waveguide loss 1.3 dB/cm.
+	dbPerM := 1.3 / Centimeter // 130 dB/m
+	got := AttenuationLinear(dbPerM, 1*Centimeter)
+	want := FromDB(-1.3)
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("1cm @1.3dB/cm: got %v want %v", got, want)
+	}
+	// Zero length -> no loss.
+	if got := AttenuationLinear(dbPerM, 0); got != 1 {
+		t.Errorf("zero length attenuation = %v, want 1", got)
+	}
+	// Attenuation is multiplicative in length.
+	a2 := AttenuationLinear(dbPerM, 2*Centimeter)
+	if !almostEq(a2, want*want, 1e-12) {
+		t.Errorf("2cm attenuation %v != (1cm)^2 %v", a2, want*want)
+	}
+}
+
+func TestPropagationDelayPaperMRRExample(t *testing.T) {
+	// Paper Eq. 7: d = 2*pi*7.5um ~= 47.1um -> t = 0.547 ps.
+	d := 2 * math.Pi * 7.5 * Micrometer
+	got := PropagationDelay(d)
+	if !almostEq(got, 0.547*Picosecond, 0.01) {
+		t.Errorf("MRR S-path delay = %v, want ~0.547ps", got)
+	}
+}
+
+func TestPropagationDelayPaperMZIExample(t *testing.T) {
+	// Paper Eq. 10: (8*2mm + 7*6.77mm) * n_Si/c = 0.736 ns.
+	d := (8*2 + 7*6.77) * Millimeter
+	got := PropagationDelay(d)
+	if !almostEq(got, 0.736*Nanosecond, 0.01) {
+		t.Errorf("OO 4-bit accumulation delay = %v, want ~0.736ns", got)
+	}
+}
+
+func TestPropagationDelayIndexMatchesSilicon(t *testing.T) {
+	d := 3.3 * Millimeter
+	if !almostEq(PropagationDelay(d), PropagationDelayIndex(d, NSilicon), 1e-12) {
+		t.Error("PropagationDelay and PropagationDelayIndex(n_Si) disagree")
+	}
+}
+
+func TestWaveguidePropagationSpeedMatchesPaper(t *testing.T) {
+	// Paper: silicon waveguides propagate at 10.45 ps/mm.
+	perMM := PropagationDelay(1 * Millimeter)
+	if !almostEq(perMM, 10.45*Picosecond, 0.12) {
+		t.Errorf("delay per mm = %v, want ~10.45ps (paper uses a slightly higher group index)", perMM)
+	}
+}
+
+func TestBitPeriod(t *testing.T) {
+	if got := BitPeriod(10 * Gigahertz); !almostEq(got, 100*Picosecond, 1e-12) {
+		t.Errorf("BitPeriod(10GHz) = %v, want 100ps", got)
+	}
+}
+
+func TestEnergyAtPower(t *testing.T) {
+	if got := EnergyAtPower(2*Milliwatt, 3*Nanosecond); !almostEq(got, 6*Picojoule, 1e-12) {
+		t.Errorf("2mW for 3ns = %v, want 6pJ", got)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{FormatTime(1.5 * Nanosecond), "1.5 ns"},
+		{FormatTime(0), "0 s"},
+		{FormatEnergy(250 * Femtojoule), "250 fJ"},
+		{FormatEnergy(1.024 * Nanojoule), "1.024 nJ"},
+		{FormatPower(20 * Milliwatt), "20 mW"},
+		{FormatArea(176 * SquareMicrometer), "176 um^2"},
+		{FormatArea(2.5 * SquareMillimeter), "2.5 mm^2"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("format: got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestFormatNegativeAndTiny(t *testing.T) {
+	if got := FormatEnergy(-3 * Picojoule); got != "-3 pJ" {
+		t.Errorf("negative energy format = %q", got)
+	}
+	if !strings.HasSuffix(FormatEnergy(0.5*Attojoule), "aJ") {
+		t.Errorf("sub-attojoule should use aJ, got %q", FormatEnergy(0.5*Attojoule))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEq(got, 10, 1e-12) {
+		t.Errorf("GeoMean(1,100) = %v, want 10", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("GeoMean(2,2,2) = %v", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean with non-positive value should be NaN")
+	}
+}
+
+func TestGeoMeanScaleInvariance(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		x := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		k := 7.5
+		scaled := []float64{k * x[0], k * x[1], k * x[2]}
+		return almostEq(GeoMean(scaled), k*GeoMean(x), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 4, 2}, {9, 4, 3},
+		{17, 10, 2}, {-3, 4, 0},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnZeroDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv(1,0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLog2CeilProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw)%4096 + 1
+		k := Log2Ceil(n)
+		return (1<<k) >= n && (k == 0 || (1<<(k-1)) < n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2CeilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Log2Ceil(0) did not panic")
+		}
+	}()
+	Log2Ceil(0)
+}

@@ -1,0 +1,246 @@
+// Package qnn runs quantized CNN inference over any MAC implementation
+// — the bridge between the functional datapaths (package omac /
+// bitserial) and whole networks. A Model is a sequence of integer
+// layers (conv, pool, fully-connected, requantize); Run executes every
+// multiply-accumulate through the supplied Dotter, so the same model
+// can execute on the electrical Stripes engine, the hybrid OE unit or
+// the all-optical OO unit, and the outputs can be compared bit for bit
+// against the plain-integer reference.
+package qnn
+
+import (
+	"fmt"
+
+	"pixel/internal/tensor"
+)
+
+// Dotter is the MAC abstraction a model runs on: an unsigned
+// dot-product engine of fixed operand precision.
+type Dotter interface {
+	DotProduct(a, b []uint64) (uint64, error)
+}
+
+// ReferenceDotter computes dot products with plain integer arithmetic —
+// the oracle implementation.
+type ReferenceDotter struct{}
+
+// DotProduct implements Dotter.
+func (ReferenceDotter) DotProduct(a, b []uint64) (uint64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("qnn: vector lengths differ (%d vs %d)", len(a), len(b))
+	}
+	var acc uint64
+	for i := range a {
+		acc += a[i] * b[i]
+	}
+	return acc, nil
+}
+
+// Layer is one step of a quantized model.
+type Layer interface {
+	// Name labels the layer in errors.
+	Name() string
+	// Apply transforms the activation tensor using the Dotter for
+	// every MAC.
+	Apply(in *tensor.Tensor, d Dotter) (*tensor.Tensor, error)
+}
+
+// Model is a named sequence of layers with a fixed activation
+// precision.
+type Model struct {
+	// Label names the model.
+	Label string
+	// ActivationBits bounds the activation values between layers;
+	// Requant layers clamp to this range.
+	ActivationBits int
+	Layers         []Layer
+}
+
+// MaxActivation returns the largest representable activation.
+func (m *Model) MaxActivation() int64 {
+	return int64(1)<<uint(m.ActivationBits) - 1
+}
+
+// Run executes the model on the input through the given Dotter.
+func (m *Model) Run(in *tensor.Tensor, d Dotter) (*tensor.Tensor, error) {
+	if m.ActivationBits < 1 || m.ActivationBits > 16 {
+		return nil, fmt.Errorf("qnn: activation bits %d out of range [1,16]", m.ActivationBits)
+	}
+	x := in
+	var err error
+	for _, l := range m.Layers {
+		x, err = l.Apply(x, d)
+		if err != nil {
+			return nil, fmt.Errorf("qnn: %s: layer %s: %w", m.Label, l.Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// Conv is a quantized convolution layer.
+type Conv struct {
+	Label  string
+	Kernel *tensor.Kernel
+	Stride int
+}
+
+// Name implements Layer.
+func (c *Conv) Name() string { return c.Label }
+
+// Apply implements Layer: every output element is one dot product
+// through the Dotter.
+func (c *Conv) Apply(in *tensor.Tensor, d Dotter) (*tensor.Tensor, error) {
+	k := c.Kernel
+	if in.C != k.C {
+		return nil, fmt.Errorf("qnn: input channels %d != kernel channels %d", in.C, k.C)
+	}
+	if c.Stride < 1 {
+		return nil, fmt.Errorf("qnn: stride %d", c.Stride)
+	}
+	eh := (in.H-k.R)/c.Stride + 1
+	ew := (in.W-k.R)/c.Stride + 1
+	if eh < 1 || ew < 1 {
+		return nil, fmt.Errorf("qnn: kernel %d too large for %dx%d input", k.R, in.H, in.W)
+	}
+	out := tensor.New(eh, ew, k.M)
+	n := k.R * k.R * k.C
+	window := make([]uint64, n)
+	weights := make([]uint64, n)
+	for oy := 0; oy < eh; oy++ {
+		for ox := 0; ox < ew; ox++ {
+			i := 0
+			for ky := 0; ky < k.R; ky++ {
+				for kx := 0; kx < k.R; kx++ {
+					for ch := 0; ch < in.C; ch++ {
+						v := in.At(oy*c.Stride+ky, ox*c.Stride+kx, ch)
+						if v < 0 {
+							return nil, fmt.Errorf("qnn: negative activation %d at (%d,%d,%d)", v, oy, ox, ch)
+						}
+						window[i] = uint64(v)
+						i++
+					}
+				}
+			}
+			for mIdx := 0; mIdx < k.M; mIdx++ {
+				i = 0
+				for ky := 0; ky < k.R; ky++ {
+					for kx := 0; kx < k.R; kx++ {
+						for ch := 0; ch < in.C; ch++ {
+							w := k.At(mIdx, ky, kx, ch)
+							if w < 0 {
+								return nil, fmt.Errorf("qnn: negative weight %d in %s", w, c.Label)
+							}
+							weights[i] = uint64(w)
+							i++
+						}
+					}
+				}
+				acc, err := d.DotProduct(window, weights)
+				if err != nil {
+					return nil, err
+				}
+				out.Set(oy, ox, mIdx, int64(acc))
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaxPool is a pooling layer (no MACs).
+type MaxPool struct {
+	Label  string
+	Window int
+}
+
+// Name implements Layer.
+func (p *MaxPool) Name() string { return p.Label }
+
+// Apply implements Layer.
+func (p *MaxPool) Apply(in *tensor.Tensor, _ Dotter) (*tensor.Tensor, error) {
+	return tensor.MaxPool2D(in, p.Window)
+}
+
+// FullyConnected is a quantized dense layer.
+type FullyConnected struct {
+	Label   string
+	Weights []int64 // row-major [out][in]
+	Out     int
+}
+
+// Name implements Layer.
+func (f *FullyConnected) Name() string { return f.Label }
+
+// Apply implements Layer.
+func (f *FullyConnected) Apply(in *tensor.Tensor, d Dotter) (*tensor.Tensor, error) {
+	n := in.Len()
+	if len(f.Weights) != n*f.Out {
+		return nil, fmt.Errorf("qnn: weight matrix %d != %d x %d", len(f.Weights), f.Out, n)
+	}
+	xs := make([]uint64, n)
+	for i, v := range in.Data {
+		if v < 0 {
+			return nil, fmt.Errorf("qnn: negative activation %d", v)
+		}
+		xs[i] = uint64(v)
+	}
+	ws := make([]uint64, n)
+	out := tensor.New(1, 1, f.Out)
+	for o := 0; o < f.Out; o++ {
+		for i := 0; i < n; i++ {
+			w := f.Weights[o*n+i]
+			if w < 0 {
+				return nil, fmt.Errorf("qnn: negative weight %d in %s", w, f.Label)
+			}
+			ws[i] = uint64(w)
+		}
+		acc, err := d.DotProduct(xs, ws)
+		if err != nil {
+			return nil, err
+		}
+		out.Set(0, 0, o, int64(acc))
+	}
+	return out, nil
+}
+
+// Requant rescales and clamps activations back into range between MAC
+// layers (the fixed-point equivalent of the activation function stage).
+type Requant struct {
+	Label string
+	Shift uint // divide by 2^Shift
+	Max   int64
+}
+
+// Name implements Layer.
+func (r *Requant) Name() string { return r.Label }
+
+// Apply implements Layer.
+func (r *Requant) Apply(in *tensor.Tensor, _ Dotter) (*tensor.Tensor, error) {
+	if r.Max < 1 {
+		return nil, fmt.Errorf("qnn: requant max %d", r.Max)
+	}
+	out := tensor.New(in.H, in.W, in.C)
+	for i, v := range in.Data {
+		v >>= r.Shift
+		if v < 0 {
+			v = 0
+		}
+		if v > r.Max {
+			v = r.Max
+		}
+		out.Data[i] = v
+	}
+	return out, nil
+}
+
+// Flatten reshapes to a vector (no MACs).
+type Flatten struct{ Label string }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.Label }
+
+// Apply implements Layer.
+func (f *Flatten) Apply(in *tensor.Tensor, _ Dotter) (*tensor.Tensor, error) {
+	out := tensor.New(1, 1, in.Len())
+	copy(out.Data, in.Data)
+	return out, nil
+}

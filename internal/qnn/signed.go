@@ -1,0 +1,127 @@
+package qnn
+
+import (
+	"fmt"
+
+	"pixel/internal/tensor"
+)
+
+// Signed-weight layers. Real quantized CNNs keep non-negative
+// activations (post-ReLU) but signed weights; the optical datapaths
+// support this through offset encoding (see internal/bitserial), which
+// SignedDotter abstracts.
+
+// SignedDotter computes signed inner products (activations are still
+// passed as int64 but must be non-negative and in range).
+type SignedDotter interface {
+	SignedDotProduct(a, b []int64) (int64, error)
+}
+
+// ReferenceSignedDotter is the plain-integer oracle.
+type ReferenceSignedDotter struct{}
+
+// SignedDotProduct implements SignedDotter.
+func (ReferenceSignedDotter) SignedDotProduct(a, b []int64) (int64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("qnn: vector lengths differ (%d vs %d)", len(a), len(b))
+	}
+	var acc int64
+	for i := range a {
+		acc += a[i] * b[i]
+	}
+	return acc, nil
+}
+
+// SignedLayer is a layer whose MACs need signed weights.
+type SignedLayer interface {
+	Name() string
+	ApplySigned(in *tensor.Tensor, d SignedDotter) (*tensor.Tensor, error)
+}
+
+// SignedConv is a convolution with signed weights.
+type SignedConv struct {
+	Label  string
+	Kernel *tensor.Kernel
+	Stride int
+}
+
+// Name implements SignedLayer.
+func (c *SignedConv) Name() string { return c.Label }
+
+// ApplySigned implements SignedLayer.
+func (c *SignedConv) ApplySigned(in *tensor.Tensor, d SignedDotter) (*tensor.Tensor, error) {
+	k := c.Kernel
+	if in.C != k.C {
+		return nil, fmt.Errorf("qnn: input channels %d != kernel channels %d", in.C, k.C)
+	}
+	if c.Stride < 1 {
+		return nil, fmt.Errorf("qnn: stride %d", c.Stride)
+	}
+	eh := (in.H-k.R)/c.Stride + 1
+	ew := (in.W-k.R)/c.Stride + 1
+	if eh < 1 || ew < 1 {
+		return nil, fmt.Errorf("qnn: kernel %d too large for %dx%d input", k.R, in.H, in.W)
+	}
+	out := tensor.New(eh, ew, k.M)
+	n := k.R * k.R * k.C
+	window := make([]int64, n)
+	weights := make([]int64, n)
+	for oy := 0; oy < eh; oy++ {
+		for ox := 0; ox < ew; ox++ {
+			i := 0
+			for ky := 0; ky < k.R; ky++ {
+				for kx := 0; kx < k.R; kx++ {
+					for ch := 0; ch < in.C; ch++ {
+						window[i] = in.At(oy*c.Stride+ky, ox*c.Stride+kx, ch)
+						i++
+					}
+				}
+			}
+			for m := 0; m < k.M; m++ {
+				i = 0
+				for ky := 0; ky < k.R; ky++ {
+					for kx := 0; kx < k.R; kx++ {
+						for ch := 0; ch < in.C; ch++ {
+							weights[i] = k.At(m, ky, kx, ch)
+							i++
+						}
+					}
+				}
+				acc, err := d.SignedDotProduct(window, weights)
+				if err != nil {
+					return nil, fmt.Errorf("qnn: %s: %w", c.Label, err)
+				}
+				out.Set(oy, ox, m, acc)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SignedModel is a sequence mixing signed MAC layers with the plain
+// (Dotter-free) transforms of Model: pooling, requant+ReLU, flatten.
+type SignedModel struct {
+	Label  string
+	Layers []any // SignedLayer or Layer entries with nil-Dotter Apply
+}
+
+// Run executes the model: SignedLayer entries use the SignedDotter;
+// plain Layer entries (MaxPool, Requant, Flatten) run directly.
+func (m *SignedModel) Run(in *tensor.Tensor, d SignedDotter) (*tensor.Tensor, error) {
+	x := in
+	var err error
+	for _, l := range m.Layers {
+		switch layer := l.(type) {
+		case SignedLayer:
+			x, err = layer.ApplySigned(x, d)
+		case Layer:
+			x, err = layer.Apply(x, nil)
+		default:
+			return nil, fmt.Errorf("qnn: %s: unsupported layer type %T", m.Label, l)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("qnn: %s: %w", m.Label, err)
+		}
+	}
+	return x, nil
+}

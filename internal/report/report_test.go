@@ -1,0 +1,123 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tab := New("Demo", "Name", "Value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22222")
+	tab.AddNote("units are furlongs")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") || !strings.Contains(lines[1], "Value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if !strings.Contains(out, "note: units are furlongs") {
+		t.Error("note missing")
+	}
+	// Columns align: "Value" starts at the same offset in header and rows.
+	off := strings.Index(lines[1], "Value")
+	if lines[3][off:off+1] != "1" && lines[4][off:] != "22222" {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestAddRowPanicsOnArity(t *testing.T) {
+	tab := New("x", "A", "B")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong cell count")
+		}
+	}()
+	tab.AddRow("only-one")
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := New("T", "A", "B")
+	tab.AddRow("plain", `has,comma`)
+	tab.AddRow(`has"quote`, "x")
+	tab.AddNote("n1")
+	var sb strings.Builder
+	if err := tab.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# T\n") {
+		t.Error("title comment missing")
+	}
+	if !strings.Contains(out, `plain,"has,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"has""quote",x`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "# n1\n") {
+		t.Error("note comment missing")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := New("MD", "A", "B")
+	tab.AddRow("x|y", "1")
+	tab.AddNote("careful with pipes")
+	var sb strings.Builder
+	if err := tab.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "**MD**") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "| A | B |") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|") {
+		t.Error("separator missing")
+	}
+	if !strings.Contains(out, `x\|y`) {
+		t.Error("pipe not escaped")
+	}
+	if !strings.Contains(out, "> careful with pipes") {
+		t.Error("note blockquote missing")
+	}
+}
+
+func TestFormatF(t *testing.T) {
+	cases := []struct {
+		v    float64
+		prec int
+		want string
+	}{
+		{1.5, 3, "1.5"},
+		{1.0, 3, "1"},
+		{0.123456, 3, "0.123"},
+		{-2.500, 2, "-2.5"},
+	}
+	for _, c := range cases {
+		if got := F(c.v, c.prec); got != c.want {
+			t.Errorf("F(%v,%d) = %q, want %q", c.v, c.prec, got, c.want)
+		}
+	}
+}
+
+func TestFormatSci(t *testing.T) {
+	if got := Sci(1234.5); got != "1.23e+03" {
+		t.Errorf("Sci = %q", got)
+	}
+	if got := Sci(0.5); got != "0.5" {
+		t.Errorf("Sci(0.5) = %q", got)
+	}
+}

@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"testing"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+	"pixel/internal/interconnect"
+	"pixel/internal/phy"
+)
+
+func BenchmarkRunNetworkZFNet(b *testing.B) {
+	g, err := interconnect.NewGrid(4, 4, 4, 10*phy.Gigahertz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(g, arch.MustConfig(arch.OO, 4, 8), Options{MaxEvents: 20_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := cnn.ZFNet()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.RunNetwork(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pixel/internal/phy"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultRingModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultRingModel()
+	bad.LockFraction = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("lock fraction 1 should fail")
+	}
+	bad = DefaultRingModel()
+	bad.DriftPerKelvin = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero drift should fail")
+	}
+}
+
+func TestLockToleranceKelvin(t *testing.T) {
+	m := DefaultRingModel()
+	// 0.25 * 0.8nm / 0.08nm/K = 2.5 K.
+	if got := m.LockToleranceKelvin(); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("lock tolerance = %v K, want 2.5", got)
+	}
+}
+
+func TestRingStartsLockedAtBias(t *testing.T) {
+	r, err := NewRing(DefaultRingModel(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Locked(0) {
+		t.Error("ring must start locked at nominal ambient")
+	}
+	if got := r.DetuningKelvin(0); got != 0 {
+		t.Errorf("initial detuning = %v K", got)
+	}
+	// Heater holds the full bias at nominal.
+	if got := r.HeaterPower(); math.Abs(got-10*0.25*phy.Milliwatt) > 1e-12 {
+		t.Errorf("heater power = %v", got)
+	}
+}
+
+func TestSmallDriftStaysLockedWithoutControl(t *testing.T) {
+	r, _ := NewRing(DefaultRingModel(), 10)
+	if !r.Locked(2.0) { // within the 2.5 K tolerance
+		t.Error("2 K drift should remain within lock")
+	}
+	if r.Locked(3.0) {
+		t.Error("3 K drift must detune an uncontrolled ring")
+	}
+}
+
+func TestControllerRelocksAfterHotStep(t *testing.T) {
+	r, _ := NewRing(DefaultRingModel(), 10)
+	steps, err := r.LockTime(5.0, 100) // chip heats 5 K
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 || steps > 10 {
+		t.Errorf("re-lock took %d steps, want a handful", steps)
+	}
+	// After re-locking to a hotter ambient the heater supplies less.
+	if r.HeaterPower() >= 10*0.25*phy.Milliwatt {
+		t.Error("hotter ambient should reduce heater power")
+	}
+}
+
+func TestControllerRelocksAfterColdStep(t *testing.T) {
+	r, _ := NewRing(DefaultRingModel(), 10)
+	if _, err := r.LockTime(-5.0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if r.HeaterPower() <= 10*0.25*phy.Milliwatt {
+		t.Error("colder ambient should raise heater power")
+	}
+}
+
+func TestHeaterRangeLimit(t *testing.T) {
+	// Max heater 10 mW at 0.25 mW/K = 40 K of authority; bias 10 K.
+	r, _ := NewRing(DefaultRingModel(), 10)
+	// Cooling by 50 K needs bias+50 = 60 K > 40 K of heater: must fail.
+	if _, err := r.LockTime(-50, 200); err == nil {
+		t.Error("drift beyond heater authority must be reported")
+	}
+	// Heating by 50 K needs heater below 0: also uncorrectable.
+	r2, _ := NewRing(DefaultRingModel(), 10)
+	if _, err := r2.LockTime(50, 200); err == nil {
+		t.Error("heating beyond the bias must be reported")
+	}
+}
+
+func TestControlConvergesProperty(t *testing.T) {
+	f := func(raw int8) bool {
+		step := float64(raw) / 8 // -16..16 K, within authority
+		if step < -25 || step > 9 {
+			return true
+		}
+		r, err := NewRing(DefaultRingModel(), 10)
+		if err != nil {
+			return false
+		}
+		_, err = r.LockTime(step, 200)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(DefaultRingModel(), -1); err == nil {
+		t.Error("negative bias should error")
+	}
+	bad := DefaultRingModel()
+	bad.MaxHeaterPower = 0
+	if _, err := NewRing(bad, 1); err == nil {
+		t.Error("invalid model should error")
+	}
+}
+
+func TestTrackSlowSineStaysLocked(t *testing.T) {
+	// A +-8 K swing over 200 control steps is slow enough for the loop
+	// to track continuously.
+	r, _ := NewRing(DefaultRingModel(), 10)
+	frac, peak, err := r.TrackProfile(SineProfile(8, 200, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.99 {
+		t.Errorf("locked fraction = %v, want ~1 for a slow swing", frac)
+	}
+	if peak >= r.Model.LockToleranceKelvin() {
+		t.Errorf("peak detuning %v K should stay inside the %v K tolerance", peak, r.Model.LockToleranceKelvin())
+	}
+}
+
+func TestTrackFastSwingLosesLock(t *testing.T) {
+	// The same amplitude swinging every 4 steps outruns the integral
+	// loop: lock drops measurably.
+	r, _ := NewRing(DefaultRingModel(), 10)
+	frac, peak, err := r.TrackProfile(SineProfile(8, 4, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac > 0.9 {
+		t.Errorf("locked fraction = %v, want visible dropout on a fast swing", frac)
+	}
+	if peak <= r.Model.LockToleranceKelvin() {
+		t.Errorf("peak detuning %v K should exceed tolerance on a fast swing", peak)
+	}
+}
+
+func TestTrackProfileValidation(t *testing.T) {
+	r, _ := NewRing(DefaultRingModel(), 10)
+	if _, _, err := r.TrackProfile(nil); err == nil {
+		t.Error("empty profile should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad profile parameters should panic")
+		}
+	}()
+	SineProfile(1, 0, 10)
+}
+
+func TestBankTuningPower(t *testing.T) {
+	m := DefaultRingModel()
+	p, err := BankTuningPower(m, 128, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128 rings x 10 K x 0.25 mW/K = 320 mW.
+	if math.Abs(p-0.32) > 1e-12 {
+		t.Errorf("bank power = %v, want 0.32 W", p)
+	}
+	// A hotter chip needs less tuning power.
+	p2, _ := BankTuningPower(m, 128, 10, 5)
+	if p2 >= p {
+		t.Error("hotter ambient should cut tuning power")
+	}
+	// Holding beyond the heater range errors.
+	if _, err := BankTuningPower(m, 8, 100, 0); err == nil {
+		t.Error("out-of-range hold should error")
+	}
+	if _, err := BankTuningPower(m, -1, 1, 0); err == nil {
+		t.Error("negative ring count should error")
+	}
+	// Saturated cold side clamps at zero.
+	p3, err := BankTuningPower(m, 8, 2, 10)
+	if err != nil || p3 != 0 {
+		t.Errorf("over-hot bank should need zero power, got %v, %v", p3, err)
+	}
+}

@@ -1,0 +1,86 @@
+package pixel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteResultsJSON serializes sweep/evaluation results as indented
+// JSON — the machine-readable companion to the CSV tables, for
+// downstream plotting.
+func WriteResultsJSON(w io.Writer, results []Result) error {
+	if len(results) == 0 {
+		return fmt.Errorf("pixel: no results to write")
+	}
+	type jsonResult struct {
+		Network  string             `json:"network"`
+		Design   string             `json:"design"`
+		Lanes    int                `json:"lanes"`
+		Bits     int                `json:"bits"`
+		EnergyJ  float64            `json:"energy_j"`
+		LatencyS float64            `json:"latency_s"`
+		EDP      float64            `json:"edp_js"`
+		Energy   map[string]float64 `json:"energy_breakdown_j"`
+	}
+	out := make([]jsonResult, len(results))
+	for i, r := range results {
+		out[i] = jsonResult{
+			Network:  r.Network,
+			Design:   r.Design.String(),
+			Lanes:    r.Lanes,
+			Bits:     r.Bits,
+			EnergyJ:  r.EnergyJ,
+			LatencyS: r.LatencyS,
+			EDP:      r.EDP,
+			Energy:   r.Breakdown,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadResultsJSON parses results written by WriteResultsJSON (the
+// design names round-trip back to Design values).
+func ReadResultsJSON(r io.Reader) ([]Result, error) {
+	type jsonResult struct {
+		Network  string             `json:"network"`
+		Design   string             `json:"design"`
+		Lanes    int                `json:"lanes"`
+		Bits     int                `json:"bits"`
+		EnergyJ  float64            `json:"energy_j"`
+		LatencyS float64            `json:"latency_s"`
+		EDP      float64            `json:"edp_js"`
+		Energy   map[string]float64 `json:"energy_breakdown_j"`
+	}
+	var raw []jsonResult
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("pixel: decode results: %w", err)
+	}
+	out := make([]Result, len(raw))
+	for i, jr := range raw {
+		var d Design
+		switch jr.Design {
+		case "EE":
+			d = EE
+		case "OE":
+			d = OE
+		case "OO":
+			d = OO
+		default:
+			return nil, fmt.Errorf("pixel: unknown design %q in results", jr.Design)
+		}
+		out[i] = Result{
+			Network:   jr.Network,
+			Design:    d,
+			Lanes:     jr.Lanes,
+			Bits:      jr.Bits,
+			EnergyJ:   jr.EnergyJ,
+			LatencyS:  jr.LatencyS,
+			EDP:       jr.EDP,
+			Breakdown: jr.Energy,
+		}
+	}
+	return out, nil
+}

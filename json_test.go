@@ -1,0 +1,51 @@
+package pixel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultsJSONRoundTrip(t *testing.T) {
+	results, err := Sweep("LeNet", Designs(), []int{4}, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteResultsJSON(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"design": "OO"`) {
+		t.Errorf("JSON missing design names:\n%s", sb.String()[:200])
+	}
+	back, err := ReadResultsJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d vs %d", len(back), len(results))
+	}
+	for i := range results {
+		if back[i].Design != results[i].Design ||
+			back[i].EDP != results[i].EDP ||
+			back[i].Breakdown["mul"] != results[i].Breakdown["mul"] {
+			t.Errorf("result %d did not round-trip", i)
+		}
+	}
+}
+
+func TestWriteResultsJSONValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteResultsJSON(&sb, nil); err == nil {
+		t.Error("empty results should error")
+	}
+}
+
+func TestReadResultsJSONErrors(t *testing.T) {
+	if _, err := ReadResultsJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should error")
+	}
+	bad := `[{"design": "XX", "network": "LeNet"}]`
+	if _, err := ReadResultsJSON(strings.NewReader(bad)); err == nil {
+		t.Error("unknown design should error")
+	}
+}

@@ -1,0 +1,309 @@
+// Package pixel is the public API of the PIXEL photonic neural-network
+// accelerator library — a full reproduction of "PIXEL: Photonic Neural
+// Network Accelerator" (Shiflett, Wright, Karanth, Louri; HPCA 2020).
+//
+// The library has two halves, both reachable from this package:
+//
+//   - A functional simulator: the three MAC designs — EE (electrical
+//     Stripes bit-serial), OE (optical multiply, electrical accumulate)
+//     and OO (optical multiply and accumulate through cascaded MZIs) —
+//     computing real products and dot products, bit-exactly, over a
+//     discrete-time optical circuit simulation. See NewMAC.
+//
+//   - An architectural cost model: energy, latency, area and EDP of a
+//     full accelerator running CNN inference (VGG16, AlexNet, ZFNet,
+//     ResNet-34, LeNet, GoogLeNet), which regenerates every table and
+//     figure of the paper's evaluation. See Evaluate and RunExperiment.
+package pixel
+
+import (
+	"fmt"
+	"io"
+
+	"pixel/internal/arch"
+	"pixel/internal/bitserial"
+	"pixel/internal/cnn"
+	"pixel/internal/eval"
+	"pixel/internal/omac"
+	"pixel/internal/optsim"
+)
+
+// Design selects a MAC implementation.
+type Design int
+
+const (
+	// EE is the all-electrical Stripes baseline.
+	EE Design = iota
+	// OE multiplies optically and accumulates electrically.
+	OE
+	// OO multiplies and accumulates optically.
+	OO
+)
+
+// String implements fmt.Stringer.
+func (d Design) String() string { return d.arch().String() }
+
+func (d Design) arch() arch.Design {
+	switch d {
+	case EE:
+		return arch.EE
+	case OE:
+		return arch.OE
+	case OO:
+		return arch.OO
+	default:
+		return arch.Design(int(d))
+	}
+}
+
+// Designs lists all three designs in presentation order.
+func Designs() []Design { return []Design{EE, OE, OO} }
+
+// Networks returns the names of the six CNNs of the paper's evaluation.
+func Networks() []string {
+	nets := cnn.All()
+	out := make([]string, len(nets))
+	for i, n := range nets {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// Result is the cost of one full CNN inference under a design point.
+type Result struct {
+	Network string
+	Design  Design
+	Lanes   int
+	Bits    int
+
+	// EnergyJ is the total inference energy [J]; Breakdown itemizes it
+	// by component (mul, add, act, o/e, comm, laser).
+	EnergyJ   float64
+	Breakdown map[string]float64
+	// LatencyS is the inference latency [s].
+	LatencyS float64
+	// EDP is the energy-delay product [J*s].
+	EDP float64
+	// PerLayer lists each layer's latency [s] in network order.
+	PerLayer []LayerResult
+}
+
+// LayerResult is one layer's share of the inference cost.
+type LayerResult struct {
+	Name     string
+	EnergyJ  float64
+	LatencyS float64
+}
+
+// Evaluate prices a full inference of the named network (see Networks)
+// under the given design, lane count and bits/lane.
+func Evaluate(network string, d Design, lanes, bits int) (Result, error) {
+	net, err := cnn.ByName(network)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := arch.NewConfig(d.arch(), lanes, bits)
+	if err != nil {
+		return Result{}, err
+	}
+	c, err := arch.CostNetwork(net, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Network: network,
+		Design:  d,
+		Lanes:   lanes,
+		Bits:    bits,
+		EnergyJ: c.Energy.Total(),
+		Breakdown: map[string]float64{
+			"mul":   c.Energy.Mul,
+			"add":   c.Energy.Add,
+			"act":   c.Energy.Act,
+			"o/e":   c.Energy.OtoE,
+			"comm":  c.Energy.Comm,
+			"laser": c.Energy.Laser,
+		},
+		LatencyS: c.Latency,
+		EDP:      c.EDP(),
+	}
+	for _, lc := range c.Layers {
+		res.PerLayer = append(res.PerLayer, LayerResult{
+			Name:     lc.Layer,
+			EnergyJ:  lc.Energy.Total(),
+			LatencyS: lc.Latency,
+		})
+	}
+	return res, nil
+}
+
+// Area returns the MAC-unit ensemble area [m^2] of a design point.
+func Area(d Design, lanes, bits int) (float64, error) {
+	cfg, err := arch.NewConfig(d.arch(), lanes, bits)
+	if err != nil {
+		return 0, err
+	}
+	return arch.Area(cfg).Total(), nil
+}
+
+// Experiments returns the ids of the paper artifacts this library
+// regenerates: "table1", "fig4" .. "fig10", "table2".
+func Experiments() []string {
+	exps := eval.Experiments()
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunExperiment regenerates one paper artifact by id and writes it to w
+// as an aligned ASCII table, or CSV when csv is true.
+func RunExperiment(id string, w io.Writer, csv bool) error {
+	e, err := eval.ByID(id)
+	if err != nil {
+		return err
+	}
+	tab, err := e.Run()
+	if err != nil {
+		return fmt.Errorf("pixel: experiment %s: %w", id, err)
+	}
+	if csv {
+		return tab.RenderCSV(w)
+	}
+	return tab.Render(w)
+}
+
+// Headlines reports the paper's summary claims next to this library's
+// measured values.
+type Headlines struct {
+	// Improvements are fractions in [0,1]: 0.484 means 48.4% better.
+	OEEDPImprovement float64 // paper: 0.484
+	OOEDPImprovement float64 // paper: 0.739
+	MulSaving        float64 // paper: 0.949
+	AddSaving        float64 // paper: 0.538
+	ZFNetConv2VsEE   float64 // paper: 0.319
+	ZFNetConv2VsOE   float64 // paper: 0.186
+}
+
+// MeasureHeadlines computes the headline numbers from the frozen model.
+func MeasureHeadlines() Headlines {
+	h := eval.MeasureHeadlines()
+	return Headlines{
+		OEEDPImprovement: h.OEEDPImprovement,
+		OOEDPImprovement: h.OOEDPImprovement,
+		MulSaving:        h.MulSaving,
+		AddSaving:        h.AddSaving,
+		ZFNetConv2VsEE:   h.ZFNetConv2VsEE,
+		ZFNetConv2VsOE:   h.ZFNetConv2VsOE,
+	}
+}
+
+// MAC is a functional multiply-accumulate unit of one of the three
+// designs: it computes real values through the simulated datapath
+// (optical pulse trains, MRR filters, MZI chains for the optical
+// designs) and meters the energy and latency it spends.
+type MAC struct {
+	design Design
+	bits   int
+	ee     interface {
+		Multiply(a, b uint64) (uint64, error)
+		Dot(a, b []uint64) (uint64, error)
+	}
+	oe  *omac.OEUnit
+	oo  *omac.OOUnit
+	led *optsim.Ledger
+}
+
+// NewMAC builds a functional MAC for unsigned operands of the given
+// precision (1..16 bits) able to accumulate dot products of up to
+// `terms` element pairs.
+func NewMAC(d Design, bits, terms int) (*MAC, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("pixel: bits %d out of range [1,16]", bits)
+	}
+	m := &MAC{design: d, bits: bits, led: optsim.NewLedger()}
+	cfg := omac.DefaultConfig(4, bits)
+	var err error
+	switch d {
+	case EE:
+		m.ee, err = newEEAdapter(bits, terms)
+	case OE:
+		m.oe, err = omac.NewOEUnit(cfg, terms)
+	case OO:
+		m.oo, err = omac.NewOOUnit(cfg, terms)
+	default:
+		return nil, fmt.Errorf("pixel: unknown design %d", int(d))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Design returns the MAC's design.
+func (m *MAC) Design() Design { return m.design }
+
+// Multiply computes a*b through the design's datapath.
+func (m *MAC) Multiply(a, b uint64) (uint64, error) {
+	switch m.design {
+	case EE:
+		return m.ee.Multiply(a, b)
+	case OE:
+		return m.oe.Multiply(a, b, m.led)
+	default:
+		return m.oo.Multiply(a, b, m.led)
+	}
+}
+
+// DotProduct computes the inner product of two equal-length vectors.
+func (m *MAC) DotProduct(a, b []uint64) (uint64, error) {
+	switch m.design {
+	case EE:
+		return m.ee.Dot(a, b)
+	case OE:
+		return m.oe.DotProduct(a, b, m.led)
+	default:
+		return m.oo.DotProduct(a, b, m.led)
+	}
+}
+
+// SignedDotProduct computes a signed inner product. Operands must fit
+// the MAC's precision as two's-complement values; on the optical
+// designs they travel offset-binary encoded (light carries no sign)
+// with an exact electrical correction.
+func (m *MAC) SignedDotProduct(a, b []int64) (int64, error) {
+	switch m.design {
+	case EE:
+		se, err := bitserial.NewSignedEngine(m.bits, maxInt(len(a), 1))
+		if err != nil {
+			return 0, err
+		}
+		v, _, err := se.DotProduct(a, b)
+		return v, err
+	case OE:
+		return m.oe.SignedDotProduct(a, b, m.led)
+	default:
+		return m.oo.SignedDotProduct(a, b, m.led)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EnergyJ returns the energy metered so far [J], by component. The EE
+// design's functional adapter does not meter energy (use Evaluate for
+// EE costs); it returns an empty map.
+func (m *MAC) EnergyJ() map[string]float64 {
+	if m.led == nil {
+		return map[string]float64{}
+	}
+	return m.led.Breakdown()
+}
+
+// LatencyS returns the datapath latency metered so far [s].
+func (m *MAC) LatencyS() float64 { return m.led.Latency() }

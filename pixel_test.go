@@ -1,0 +1,195 @@
+package pixel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDesignsAndStrings(t *testing.T) {
+	if len(Designs()) != 3 {
+		t.Fatal("expected three designs")
+	}
+	names := []string{"EE", "OE", "OO"}
+	for i, d := range Designs() {
+		if d.String() != names[i] {
+			t.Errorf("design %d string = %q, want %q", i, d, names[i])
+		}
+	}
+}
+
+func TestNetworksList(t *testing.T) {
+	nets := Networks()
+	if len(nets) != 6 {
+		t.Fatalf("networks = %v", nets)
+	}
+	want := map[string]bool{"VGG16": true, "AlexNet": true, "ZFNet": true,
+		"ResNet-34": true, "LeNet": true, "GoogLeNet": true}
+	for _, n := range nets {
+		if !want[n] {
+			t.Errorf("unexpected network %q", n)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	r, err := Evaluate("LeNet", OO, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EnergyJ <= 0 || r.LatencyS <= 0 || r.EDP <= 0 {
+		t.Errorf("degenerate result %+v", r)
+	}
+	if len(r.PerLayer) != 5 {
+		t.Errorf("LeNet has 5 layers, got %d", len(r.PerLayer))
+	}
+	sum := 0.0
+	for _, v := range r.Breakdown {
+		sum += v
+	}
+	if diff := sum - r.EnergyJ; diff > 1e-9*r.EnergyJ || diff < -1e-9*r.EnergyJ {
+		t.Error("breakdown must sum to the total energy")
+	}
+	if _, err := Evaluate("NopeNet", EE, 4, 8); err == nil {
+		t.Error("unknown network should error")
+	}
+	if _, err := Evaluate("LeNet", EE, 0, 8); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestAreaOrderingPublic(t *testing.T) {
+	ee, err := Area(EE, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oe, _ := Area(OE, 4, 4)
+	oo, _ := Area(OO, 4, 4)
+	if !(ee < oe && oe < oo) {
+		t.Errorf("area ordering violated: %g %g %g", ee, oe, oo)
+	}
+	if _, err := Area(EE, 0, 4); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestExperimentsRunThroughPublicAPI(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 9 {
+		t.Fatalf("experiments = %v", ids)
+	}
+	var sb strings.Builder
+	if err := RunExperiment("table1", &sb, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Conv1") {
+		t.Error("table1 output missing Conv1")
+	}
+	sb.Reset()
+	if err := RunExperiment("fig10", &sb, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "#") {
+		t.Error("CSV output should start with the title comment")
+	}
+	if err := RunExperiment("nope", &sb, false); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestMeasureHeadlinesPopulated(t *testing.T) {
+	h := MeasureHeadlines()
+	if h.OOEDPImprovement <= h.OEEDPImprovement {
+		t.Error("OO must improve EDP more than OE")
+	}
+	if h.MulSaving < 0.9 {
+		t.Errorf("mul saving = %v, want ~0.95", h.MulSaving)
+	}
+}
+
+func TestMACAllDesignsAgree(t *testing.T) {
+	macs := map[Design]*MAC{}
+	for _, d := range Designs() {
+		m, err := NewMAC(d, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Design() != d {
+			t.Errorf("Design() = %v, want %v", m.Design(), d)
+		}
+		macs[d] = m
+	}
+	f := func(a, b uint8) bool {
+		want := uint64(a) * uint64(b)
+		for _, m := range macs {
+			got, err := m.Multiply(uint64(a), uint64(b))
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACDotProductAndMetering(t *testing.T) {
+	m, err := NewMAC(OO, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.DotProduct([]uint64{2, 4, 6, 9}, []uint64{6, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*6+4*1+6*2+9*3 {
+		t.Errorf("dot = %d", got)
+	}
+	e := m.EnergyJ()
+	if e["mul"] <= 0 || e["add"] <= 0 || e["laser"] <= 0 {
+		t.Errorf("optical MAC should meter energy, got %v", e)
+	}
+	if m.LatencyS() <= 0 {
+		t.Error("latency should be metered")
+	}
+	// EE adapter meters nothing (documented).
+	ee, _ := NewMAC(EE, 8, 4)
+	if _, err := ee.DotProduct([]uint64{1, 2}, []uint64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ee.EnergyJ()) != 0 {
+		t.Error("EE MAC meters no energy by design")
+	}
+}
+
+func TestMACSignedDotProductAllDesigns(t *testing.T) {
+	a := []int64{-3, 2, -15, 7}
+	b := []int64{7, -8, 1, -1}
+	want := int64(-3*7 + 2*(-8) + -15 + -7)
+	for _, d := range Designs() {
+		m, err := NewMAC(d, 6, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.SignedDotProduct(a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if got != want {
+			t.Errorf("%v signed dot = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestNewMACValidation(t *testing.T) {
+	if _, err := NewMAC(EE, 0, 1); err == nil {
+		t.Error("bits 0 should error")
+	}
+	if _, err := NewMAC(EE, 17, 1); err == nil {
+		t.Error("bits 17 should error")
+	}
+	if _, err := NewMAC(Design(9), 8, 1); err == nil {
+		t.Error("unknown design should error")
+	}
+}

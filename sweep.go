@@ -1,0 +1,52 @@
+package pixel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sweep evaluates a network over a grid of design points — the
+// programmatic form of the design-space exploration the paper performs
+// across lanes and bits/lane. Results come back in deterministic order
+// (design, then lanes, then bits).
+func Sweep(network string, designs []Design, lanesAxis, bitsAxis []int) ([]Result, error) {
+	if len(designs) == 0 || len(lanesAxis) == 0 || len(bitsAxis) == 0 {
+		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
+	}
+	var out []Result
+	for _, d := range designs {
+		for _, lanes := range lanesAxis {
+			for _, bits := range bitsAxis {
+				r, err := Evaluate(network, d, lanes, bits)
+				if err != nil {
+					return nil, fmt.Errorf("pixel: sweep point %v/%d/%d: %w", d, lanes, bits, err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// BestEDP returns the sweep result with the lowest energy-delay
+// product.
+func BestEDP(results []Result) (Result, error) {
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("pixel: no results")
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.EDP < best.EDP {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// RankByEDP returns the results sorted by ascending EDP (a copy; the
+// input is untouched).
+func RankByEDP(results []Result) []Result {
+	out := append([]Result(nil), results...)
+	sort.Slice(out, func(i, j int) bool { return out[i].EDP < out[j].EDP })
+	return out
+}

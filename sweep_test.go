@@ -1,0 +1,64 @@
+package pixel
+
+import "testing"
+
+func TestSweepGridComplete(t *testing.T) {
+	res, err := Sweep("LeNet", Designs(), []int{2, 4}, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3*2*2 {
+		t.Fatalf("sweep points = %d, want 12", len(res))
+	}
+	// Deterministic order: design-major.
+	if res[0].Design != EE || res[len(res)-1].Design != OO {
+		t.Error("sweep order wrong")
+	}
+	for _, r := range res {
+		if r.EDP <= 0 {
+			t.Errorf("point %+v has non-positive EDP", r)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep("LeNet", nil, []int{4}, []int{8}); err == nil {
+		t.Error("empty designs should error")
+	}
+	if _, err := Sweep("NopeNet", Designs(), []int{4}, []int{8}); err == nil {
+		t.Error("unknown network should error")
+	}
+	if _, err := Sweep("LeNet", Designs(), []int{0}, []int{8}); err == nil {
+		t.Error("invalid lanes should error")
+	}
+}
+
+func TestBestEDPAndRank(t *testing.T) {
+	res, err := Sweep("AlexNet", Designs(), []int{4}, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestEDP(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Design != OO {
+		t.Errorf("best design = %v, want OO", best.Design)
+	}
+	ranked := RankByEDP(res)
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].EDP < ranked[i-1].EDP {
+			t.Fatal("rank not sorted")
+		}
+	}
+	if ranked[0].EDP != best.EDP {
+		t.Error("rank head must equal BestEDP")
+	}
+	// RankByEDP must not mutate its input.
+	if res[0].Design != EE {
+		t.Error("input slice mutated")
+	}
+	if _, err := BestEDP(nil); err == nil {
+		t.Error("empty results should error")
+	}
+}
