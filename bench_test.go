@@ -7,6 +7,7 @@ package pixel
 // regeneration cost. Run `cmd/pixelsim -exp <id>` to see the rows.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"pixel/internal/eval"
 	"pixel/internal/omac"
 	"pixel/internal/optsim"
+	sweepeng "pixel/internal/sweep"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -61,6 +63,76 @@ func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
 
 // BenchmarkTable2 regenerates Table II (component breakdown).
 func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// --- Sweep-engine benchmarks: the multi-core grid sweep behind the
+// design-space figures, engine vs the seed's serial loop.
+
+// Sweep grid shared by the engine/serial comparison: all designs over
+// the paper's lanes and bits axes (48 points).
+var (
+	benchSweepLanes = []int{2, 4, 8, 16}
+	benchSweepBits  = []int{4, 8, 16, 32}
+)
+
+// BenchmarkSweepSerial reproduces the seed's Sweep: a serial triple
+// loop that re-resolves the network and rebuilds the configuration and
+// cost model from scratch at every (design, lanes, bits) point.
+func BenchmarkSweepSerial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, d := range arch.Designs() {
+			for _, lanes := range benchSweepLanes {
+				for _, bits := range benchSweepBits {
+					net, err := cnn.ByName("AlexNet")
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg, err := arch.NewConfig(d, lanes, bits)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := arch.CostNetwork(net, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSweepCold runs the same grid through a fresh engine every
+// iteration: worker-pool fan-out plus shared-work dedup, no result
+// reuse across iterations. This is the first-sweep cost.
+func BenchmarkSweepCold(b *testing.B) {
+	jobs := make([]sweepeng.Job, 0, 48)
+	for _, p := range sweepeng.Grid(arch.Designs(), benchSweepLanes, benchSweepBits) {
+		jobs = append(jobs, sweepeng.Job{Network: "AlexNet", Point: p})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sweepeng.New(sweepeng.Options{})
+		if _, err := e.Run(context.Background(), jobs, sweepeng.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep runs the public engine-backed Sweep in steady state:
+// the shared engine's LRU holds the grid after the first iteration, so
+// this is the repeat-sweep cost the eval figures and long-running
+// services see.
+func BenchmarkSweep(b *testing.B) {
+	if _, err := Sweep("AlexNet", Designs(), benchSweepLanes, benchSweepBits); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep("AlexNet", Designs(), benchSweepLanes, benchSweepBits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Microbenchmarks of the simulator substrates, for profiling the
 // pieces the artifact benches compose.

@@ -28,9 +28,11 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("pixelexp", flag.ContinueOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	ext := fs.Bool("ext", false, "also run the extension studies (ext-*)")
+	workers := fs.Int("workers", 0, "sweep-engine worker-pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	eval.SetWorkers(*workers)
 
 	experiments := eval.Experiments()
 	if *ext {

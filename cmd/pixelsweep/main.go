@@ -1,16 +1,20 @@
-// Command pixelsweep runs a design-space sweep for one network and
-// emits the results as JSON (for plotting) or a ranked table.
+// Command pixelsweep runs a design-space sweep for one or more
+// networks through the concurrent sweep engine and emits the results
+// as JSON (for plotting) or a ranked table per network.
 //
 // Usage:
 //
 //	pixelsweep -net AlexNet -lanes 2,4,8,16 -bits 4,8,16,32 -json > sweep.json
-//	pixelsweep -net VGG16
+//	pixelsweep -net VGG16 -workers 8 -progress
+//	pixelsweep -net AlexNet,ZFNet,VGG16 -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -38,12 +42,25 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+func parseNames(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if name := strings.TrimSpace(p); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("pixelsweep", flag.ContinueOnError)
-	netName := fs.String("net", "AlexNet", "network to sweep")
+	netNames := fs.String("net", "AlexNet", "comma-separated networks to sweep")
 	lanesStr := fs.String("lanes", "2,4,8,16", "comma-separated lane counts")
 	bitsStr := fs.String("bits", "4,8,16,32", "comma-separated bits/lane")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of a table")
+	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report sweep progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,25 +72,60 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	results, err := pixel.Sweep(*netName, pixel.Designs(), lanes, bits)
+	networks := parseNames(*netNames)
+	if len(networks) == 0 {
+		return fmt.Errorf("no networks given")
+	}
+
+	// Ctrl-C cancels the sweep promptly instead of leaving the pool
+	// grinding through the rest of the grid.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := &pixel.SweepOptions{Workers: *workers}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep %d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	points := pixel.Grid(pixel.Designs(), lanes, bits)
+	byNet, err := pixel.SweepNetworks(ctx, networks, points, opts)
 	if err != nil {
 		return err
 	}
+
 	if *jsonOut {
-		return pixel.WriteResultsJSON(os.Stdout, results)
+		var all []pixel.Result
+		for _, name := range networks {
+			all = append(all, byNet[name]...)
+		}
+		return pixel.WriteResultsJSON(os.Stdout, all)
 	}
-	ranked := pixel.RankByEDP(results)
-	tab := report.New(fmt.Sprintf("%s design-space sweep, ranked by EDP", *netName),
-		"Rank", "Des", "Lanes", "Bits", "Energy [J]", "Latency [s]", "EDP [J*s]")
-	for i, r := range ranked {
-		tab.AddRow(fmt.Sprint(i+1), r.Design.String(),
-			fmt.Sprint(r.Lanes), fmt.Sprint(r.Bits),
-			report.Sci(r.EnergyJ), report.Sci(r.LatencyS), report.Sci(r.EDP))
+	for _, name := range networks {
+		results := byNet[name]
+		ranked := pixel.RankByEDP(results)
+		tab := report.New(fmt.Sprintf("%s design-space sweep, ranked by EDP", name),
+			"Rank", "Des", "Lanes", "Bits", "Energy [J]", "Latency [s]", "EDP [J*s]")
+		for i, r := range ranked {
+			tab.AddRow(fmt.Sprint(i+1), r.Design.String(),
+				fmt.Sprint(r.Lanes), fmt.Sprint(r.Bits),
+				report.Sci(r.EnergyJ), report.Sci(r.LatencyS), report.Sci(r.EDP))
+		}
+		best, err := pixel.BestEDP(results)
+		if err != nil {
+			return err
+		}
+		tab.AddNote("best point: %s at %d lanes, %d bits/lane", best.Design, best.Lanes, best.Bits)
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		if len(networks) > 1 {
+			fmt.Println()
+		}
 	}
-	best, err := pixel.BestEDP(results)
-	if err != nil {
-		return err
-	}
-	tab.AddNote("best point: %s at %d lanes, %d bits/lane", best.Design, best.Lanes, best.Bits)
-	return tab.Render(os.Stdout)
+	return nil
 }

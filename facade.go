@@ -4,10 +4,6 @@ import (
 	"fmt"
 
 	"pixel/internal/arch"
-	"pixel/internal/cnn"
-	"pixel/internal/interconnect"
-	"pixel/internal/mapper"
-	"pixel/internal/phy"
 )
 
 // PowerSummary is the chip-level power view of a design point (see
@@ -26,30 +22,10 @@ type PowerSummary struct {
 	TotalW   float64
 }
 
-// EvaluatePower returns the power budget of a design point.
+// EvaluatePower returns the power budget of a design point — the
+// positional form of Point.Power.
 func EvaluatePower(network string, d Design, lanes, bits int) (PowerSummary, error) {
-	net, err := cnn.ByName(network)
-	if err != nil {
-		return PowerSummary{}, err
-	}
-	cfg, err := arch.NewConfig(d.arch(), lanes, bits)
-	if err != nil {
-		return PowerSummary{}, err
-	}
-	p, err := arch.Power(net, cfg)
-	if err != nil {
-		return PowerSummary{}, err
-	}
-	return PowerSummary{
-		Network:  network,
-		Design:   d,
-		Lanes:    lanes,
-		Bits:     bits,
-		DynamicW: p.DynamicW.Total(),
-		StaticW:  p.TotalStaticW(),
-		LaserW:   p.LaserIdleW,
-		TotalW:   p.TotalW(),
-	}, nil
+	return Point{Design: d, Lanes: lanes, Bits: bits}.Power(network)
 }
 
 // ScheduleSummary is a tile-grid mapping of a network (see
@@ -70,37 +46,9 @@ type ScheduleSummary struct {
 
 // MapToGrid schedules a network onto a rows x cols tile grid with the
 // given design point, using photonic weight streaming when
-// photonicWeights is set.
+// photonicWeights is set — the positional form of Point.MapToGrid.
 func MapToGrid(network string, d Design, lanes, bits, rows, cols int, photonicWeights bool) (ScheduleSummary, error) {
-	net, err := cnn.ByName(network)
-	if err != nil {
-		return ScheduleSummary{}, err
-	}
-	cfg, err := arch.NewConfig(d.arch(), lanes, bits)
-	if err != nil {
-		return ScheduleSummary{}, err
-	}
-	grid, err := interconnect.NewGrid(rows, cols, lanes, 10*phy.Gigahertz)
-	if err != nil {
-		return ScheduleSummary{}, err
-	}
-	transport := mapper.ElectricalPreload
-	if photonicWeights {
-		transport = mapper.PhotonicPreload
-	}
-	s, err := mapper.MapNetwork(net, grid, cfg, mapper.Options{Transport: transport})
-	if err != nil {
-		return ScheduleSummary{}, err
-	}
-	return ScheduleSummary{
-		Network:     network,
-		Rows:        rows,
-		Cols:        cols,
-		SequentialS: s.MakespanS,
-		PipelinedS:  s.PipelinedMakespanS,
-		PreloadJ:    s.PreloadJ,
-		Utilization: s.MeanUtilization(),
-	}, nil
+	return Point{Design: d, Lanes: lanes, Bits: bits}.MapToGrid(network, rows, cols, photonicWeights)
 }
 
 // Ablations re-runs the six-CNN evaluation under each calibration

@@ -1,6 +1,9 @@
 package pixel
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestEvaluatePower(t *testing.T) {
 	p, err := EvaluatePower("AlexNet", OO, 4, 16)
@@ -23,11 +26,11 @@ func TestEvaluatePower(t *testing.T) {
 	if ee.TotalW <= p.TotalW {
 		t.Error("EE should draw more total power at the headline point")
 	}
-	if _, err := EvaluatePower("NopeNet", EE, 4, 16); err == nil {
-		t.Error("unknown network should error")
+	if _, err := EvaluatePower("NopeNet", EE, 4, 16); !errors.Is(err, ErrUnknownNetwork) {
+		t.Errorf("unknown network: err = %v, want ErrUnknownNetwork", err)
 	}
-	if _, err := EvaluatePower("LeNet", EE, 0, 16); err == nil {
-		t.Error("invalid config should error")
+	if _, err := EvaluatePower("LeNet", EE, 0, 16); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("invalid config: err = %v, want ErrBadPrecision", err)
 	}
 }
 
@@ -49,11 +52,11 @@ func TestMapToGrid(t *testing.T) {
 	if elec.Utilization <= 0 || elec.Utilization > 1 {
 		t.Errorf("utilization = %v", elec.Utilization)
 	}
-	if _, err := MapToGrid("LeNet", OO, 16, 8, 4, 16, false); err == nil {
-		t.Error("over-budget wavelength plan should error")
+	if _, err := MapToGrid("LeNet", OO, 16, 8, 4, 16, false); !errors.Is(err, ErrBadGrid) {
+		t.Error("over-budget wavelength plan should surface ErrBadGrid")
 	}
-	if _, err := MapToGrid("NopeNet", OO, 4, 8, 4, 4, false); err == nil {
-		t.Error("unknown network should error")
+	if _, err := MapToGrid("NopeNet", OO, 4, 8, 4, 4, false); !errors.Is(err, ErrUnknownNetwork) {
+		t.Error("unknown network should surface ErrUnknownNetwork")
 	}
 }
 

@@ -69,7 +69,11 @@ func (n NetworkCost) EDP() float64 {
 	return n.Energy.Total() * n.Latency
 }
 
-// CostNetwork prices a whole network inference.
+// CostNetwork prices a whole network inference. The per-operation
+// breakdown, round time and in-flight operation count depend only on
+// the configuration, so they are computed once and reused across every
+// layer (bit-identical to the per-layer recomputation CostLayer does,
+// PerOp being pure float arithmetic).
 func CostNetwork(net cnn.Network, cfg Config) (NetworkCost, error) {
 	if err := cfg.Validate(); err != nil {
 		return NetworkCost{}, err
@@ -77,9 +81,29 @@ func CostNetwork(net cnn.Network, cfg Config) (NetworkCost, error) {
 	if err := net.Validate(); err != nil {
 		return NetworkCost{}, err
 	}
-	out := NetworkCost{Network: net.Name, Config: cfg}
+	per := PerOp(cfg)
+	roundTime := RoundTime(cfg)
+	concurrent := cfg.ConcurrentOps()
+	out := NetworkCost{Network: net.Name, Config: cfg, Layers: make([]LayerCost, 0, len(net.Layers))}
 	for _, l := range net.Layers {
-		lc := CostLayer(l, cfg)
+		counts := l.Counts(cnn.ModePaper)
+		rounds := counts.Mul / concurrent
+		if rounds < 1 && counts.Mul > 0 {
+			rounds = 1
+		}
+		lc := LayerCost{
+			Layer: l.Name,
+			Energy: Breakdown{
+				Mul:   counts.Mul * per.Mul,
+				Add:   counts.Add * per.Add,
+				Act:   counts.Act * per.Act,
+				OtoE:  counts.Mul * per.OtoE,
+				Comm:  counts.Mul * per.Comm,
+				Laser: counts.Mul * per.Laser,
+			},
+			Latency: rounds * roundTime,
+			Rounds:  rounds,
+		}
 		out.Layers = append(out.Layers, lc)
 		out.Energy = out.Energy.Plus(lc.Energy)
 		out.Latency += lc.Latency

@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"context"
+	"sync"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+	"pixel/internal/sweep"
+)
+
+// The experiment runners share one sweep engine: the EE-normalized
+// figures (7, 10), the geomean latency sweep (8) and the headline
+// measurements all revisit the same (network, design, lanes, bits)
+// points, so memoizing whole evaluations removes most of the pricing
+// work, and grid figures fan their cells out across the worker pool.
+var (
+	engineMu   sync.Mutex
+	engine     = sweep.New(sweep.Options{})
+	engWorkers int
+)
+
+// SetWorkers overrides the per-run worker count of the shared engine
+// (<= 0 restores the GOMAXPROCS default). cmd/pixelexp's -workers flag
+// lands here.
+func SetWorkers(n int) {
+	engineMu.Lock()
+	engWorkers = n
+	engineMu.Unlock()
+}
+
+func runWorkers() int {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	return engWorkers
+}
+
+// costOf prices one network at a design point through the shared
+// memoized engine.
+func costOf(net cnn.Network, d arch.Design, lanes, bits int) (arch.NetworkCost, error) {
+	return engine.EvaluateNetwork(context.Background(),
+		net, sweep.Point{Design: d, Lanes: lanes, Bits: bits})
+}
+
+// prefetch warms the engine's result cache for every (network, design
+// point) cell of a figure in one parallel run, so the serial
+// row-assembly loops that follow are pure cache hits. Networks are
+// registered by value, keeping the runners independent of zoo lookup.
+func prefetch(nets []cnn.Network, points []sweep.Point) error {
+	jobs := make([]sweep.Job, 0, len(nets)*len(points))
+	for _, net := range nets {
+		engine.AddNetwork(net)
+		for _, p := range points {
+			jobs = append(jobs, sweep.Job{Network: net.Name, Point: p})
+		}
+	}
+	_, err := engine.Run(context.Background(), jobs, sweep.RunOptions{Workers: runWorkers()})
+	return err
+}
+
+// gridPoints enumerates design-major points over one lanes value and a
+// bits axis — the shape of the bits/lane figures.
+func gridPoints(designs []arch.Design, lanes int, bitsAxis []int) []sweep.Point {
+	return sweep.Grid(designs, []int{lanes}, bitsAxis)
+}

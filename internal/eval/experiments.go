@@ -8,6 +8,7 @@ import (
 	"pixel/internal/cnn"
 	"pixel/internal/phy"
 	"pixel/internal/report"
+	"pixel/internal/sweep"
 )
 
 // Sweep axes used by the figures, matching the paper.
@@ -61,9 +62,10 @@ func Fig4() (*report.Table, error) {
 }
 
 // EnergyPerBit returns the per-bit energy [J] of one MAC operation under
-// the design point — Figure 4's quantity.
+// the design point — Figure 4's quantity. Configurations come from the
+// engine's memo, so the grid sweep builds each one once.
 func EnergyPerBit(d arch.Design, lanes, bits int) (float64, error) {
-	cfg, err := arch.NewConfig(d, lanes, bits)
+	cfg, err := engine.Config(sweep.Point{Design: d, Lanes: lanes, Bits: bits})
 	if err != nil {
 		return 0, err
 	}
@@ -76,10 +78,13 @@ func Fig5() (*report.Table, error) {
 	t := report.New("Figure 5: energy per component [mJ] (4 lanes)",
 		"CNN", "Des", "Bits", "Mul", "Add", "Act", "o/e", "Comm", "Laser")
 	nets := []cnn.Network{cnn.AlexNet(), cnn.LeNet(), cnn.VGG16()}
+	if err := prefetch(nets, gridPoints(arch.Designs(), 4, []int{4, 8, 16})); err != nil {
+		return nil, err
+	}
 	for _, net := range nets {
 		for _, bits := range []int{4, 8, 16} {
 			for _, d := range arch.Designs() {
-				c, err := arch.CostNetwork(net, arch.MustConfig(d, 4, bits))
+				c, err := costOf(net, d, 4, bits)
 				if err != nil {
 					return nil, err
 				}
@@ -110,13 +115,15 @@ func Fig6() (*report.Table, error) {
 }
 
 // NormalizedEnergy returns E(design)/E(EE) for one network at the
-// design point — Figure 7's quantity.
+// design point — Figure 7's quantity. Both evaluations go through the
+// engine's memo, so the EE reference is priced once per (lanes, bits)
+// however many designs are normalized against it.
 func NormalizedEnergy(net cnn.Network, d arch.Design, lanes, bits int) (float64, error) {
-	ref, err := arch.CostNetwork(net, arch.MustConfig(arch.EE, lanes, bits))
+	ref, err := costOf(net, arch.EE, lanes, bits)
 	if err != nil {
 		return 0, err
 	}
-	c, err := arch.CostNetwork(net, arch.MustConfig(d, lanes, bits))
+	c, err := costOf(net, d, lanes, bits)
 	if err != nil {
 		return 0, err
 	}
@@ -124,10 +131,14 @@ func NormalizedEnergy(net cnn.Network, d arch.Design, lanes, bits int) (float64,
 }
 
 // Fig7 regenerates Figure 7: normalized inference energy for the six
-// CNNs at 8 lanes across 4/8/16/32 bits/lane.
+// CNNs at 8 lanes across 4/8/16/32 bits/lane. The full grid is warmed
+// through the worker pool before the rows are assembled.
 func Fig7() (*report.Table, error) {
 	t := report.New("Figure 7: normalized energy (8 lanes, EE = 1 per group)",
 		"CNN", "Bits", "EE", "OE", "OO")
+	if err := prefetch(cnn.All(), gridPoints(arch.Designs(), 8, FigBits)); err != nil {
+		return nil, err
+	}
 	for _, net := range cnn.All() {
 		for _, bits := range FigBits {
 			row := []string{net.Name, fmt.Sprint(bits)}
@@ -150,7 +161,7 @@ func GeomeanLatency(d arch.Design, lanes, bits int) (float64, error) {
 	logSum := 0.0
 	nets := cnn.All()
 	for _, net := range nets {
-		c, err := arch.CostNetwork(net, arch.MustConfig(d, lanes, bits))
+		c, err := costOf(net, d, lanes, bits)
 		if err != nil {
 			return 0, err
 		}
@@ -164,6 +175,9 @@ func GeomeanLatency(d arch.Design, lanes, bits int) (float64, error) {
 func Fig8() (*report.Table, error) {
 	t := report.New("Figure 8: geomean latency across CNNs (8 lanes) [ms]",
 		"Bits/lane", "EE", "OE", "OO")
+	if err := prefetch(cnn.All(), gridPoints(arch.Designs(), 8, Fig8Bits)); err != nil {
+		return nil, err
+	}
 	for _, bits := range Fig8Bits {
 		row := []string{fmt.Sprint(bits)}
 		for _, d := range arch.Designs() {
@@ -186,7 +200,7 @@ func Fig9() (*report.Table, error) {
 		"Layer", "EE", "OE", "OO")
 	costs := map[arch.Design]arch.NetworkCost{}
 	for _, d := range arch.Designs() {
-		c, err := arch.CostNetwork(cnn.ZFNet(), arch.MustConfig(d, 8, 8))
+		c, err := costOf(cnn.ZFNet(), d, 8, 8)
 		if err != nil {
 			return nil, err
 		}
@@ -206,11 +220,11 @@ func Fig9() (*report.Table, error) {
 // NormalizedEDP returns EDP(design)/EDP(EE) for one network at the
 // design point — Figure 10's quantity.
 func NormalizedEDP(net cnn.Network, d arch.Design, lanes, bits int) (float64, error) {
-	ref, err := arch.CostNetwork(net, arch.MustConfig(arch.EE, lanes, bits))
+	ref, err := costOf(net, arch.EE, lanes, bits)
 	if err != nil {
 		return 0, err
 	}
-	c, err := arch.CostNetwork(net, arch.MustConfig(d, lanes, bits))
+	c, err := costOf(net, d, lanes, bits)
 	if err != nil {
 		return 0, err
 	}
@@ -222,6 +236,9 @@ func NormalizedEDP(net cnn.Network, d arch.Design, lanes, bits int) (float64, er
 func Fig10() (*report.Table, error) {
 	t := report.New("Figure 10: normalized EDP (4 lanes, EE = 1 per group)",
 		"CNN", "Bits", "EE", "OE", "OO")
+	if err := prefetch(cnn.All(), gridPoints(arch.Designs(), 4, FigBits)); err != nil {
+		return nil, err
+	}
 	for _, net := range cnn.All() {
 		for _, bits := range FigBits {
 			row := []string{net.Name, fmt.Sprint(bits)}
@@ -253,7 +270,7 @@ func Table2() (*report.Table, error) {
 			return nil, err
 		}
 		for _, d := range arch.Designs() {
-			c, err := arch.CostNetwork(net, arch.MustConfig(d, 4, 16))
+			c, err := costOf(net, d, 4, 16)
 			if err != nil {
 				return nil, err
 			}

@@ -34,7 +34,7 @@ func MeasureHeadlines() Headlines {
 	geoEDP := func(d arch.Design) float64 {
 		logSum := 0.0
 		for _, net := range cnn.All() {
-			c, err := arch.CostNetwork(net, arch.MustConfig(d, 4, 16))
+			c, err := costOf(net, d, 4, 16)
 			if err != nil {
 				panic(err) // configurations are static and validated
 			}
@@ -55,7 +55,7 @@ func MeasureHeadlines() Headlines {
 
 	lat := map[arch.Design]float64{}
 	for _, d := range arch.Designs() {
-		c, err := arch.CostNetwork(cnn.ZFNet(), arch.MustConfig(d, 8, 8))
+		c, err := costOf(cnn.ZFNet(), d, 8, 8)
 		if err != nil {
 			panic(err)
 		}

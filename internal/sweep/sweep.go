@@ -1,0 +1,302 @@
+// Package sweep is the concurrent design-space sweep engine behind the
+// public Sweep/SweepContext API and the eval experiment runners. It
+// fans (network, design, lanes, bits) evaluation points out across a
+// worker pool, deduplicates shared work (per-name cnn.Network
+// resolution, per-point arch.Config construction) and memoizes whole
+// evaluation results in a bounded LRU, so regenerating the paper's
+// grid figures costs one CostNetwork call per distinct point instead
+// of one per table cell.
+//
+// Results come back in input order regardless of worker scheduling, so
+// a parallel sweep is bit-identical to the serial loop it replaced.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+)
+
+// Point is one design point of the sweep space: a MAC design, a lane
+// (wavelength) count and a bits/lane burst width.
+type Point struct {
+	Design arch.Design
+	Lanes  int
+	Bits   int
+}
+
+// String renders the point compactly ("OO/L4/B16").
+func (p Point) String() string {
+	return fmt.Sprintf("%s/L%d/B%d", p.Design, p.Lanes, p.Bits)
+}
+
+// Validate reports whether the point names a buildable configuration.
+func (p Point) Validate() error {
+	_, err := arch.NewConfig(p.Design, p.Lanes, p.Bits)
+	return err
+}
+
+// Job is one unit of work: price a full inference of the named network
+// at the design point.
+type Job struct {
+	Network string
+	Point   Point
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the result LRU (entries); <= 0 means
+	// DefaultCacheSize.
+	CacheSize int
+}
+
+// DefaultCacheSize is the result-LRU capacity when Options.CacheSize
+// is unset — large enough to hold every (network x design x lanes x
+// bits) point of the paper's figures simultaneously.
+const DefaultCacheSize = 4096
+
+// RunOptions tunes one Run call.
+type RunOptions struct {
+	// Workers overrides the engine's pool size for this run; <= 0
+	// keeps the engine default.
+	Workers int
+	// Progress, when non-nil, is called after each job completes with
+	// the completed and total counts. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// Engine evaluates jobs through a worker pool with memoization. The
+// zero value is not usable; construct with New. An Engine is safe for
+// concurrent use.
+type Engine struct {
+	workers int
+
+	mu   sync.Mutex
+	nets map[string]netEntry
+	cfgs map[Point]cfgEntry
+	res  *lruCache
+
+	costCalls atomic.Int64
+}
+
+type netEntry struct {
+	net cnn.Network
+	err error
+}
+
+type cfgEntry struct {
+	cfg arch.Config
+	err error
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	size := opts.CacheSize
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &Engine{
+		workers: w,
+		nets:    map[string]netEntry{},
+		cfgs:    map[Point]cfgEntry{},
+		res:     newLRU(size),
+	}
+}
+
+// Network resolves a network by name, memoizing both hits and misses.
+func (e *Engine) Network(name string) (cnn.Network, error) {
+	e.mu.Lock()
+	entry, ok := e.nets[name]
+	e.mu.Unlock()
+	if ok {
+		return entry.net, entry.err
+	}
+	net, err := cnn.ByName(name)
+	e.mu.Lock()
+	e.nets[name] = netEntry{net, err}
+	e.mu.Unlock()
+	return net, err
+}
+
+// AddNetwork registers a network under its own name, so jobs can refer
+// to networks that are not in the built-in zoo.
+func (e *Engine) AddNetwork(net cnn.Network) {
+	e.mu.Lock()
+	e.nets[net.Name] = netEntry{net, nil}
+	e.mu.Unlock()
+}
+
+// Config builds (or returns the memoized) validated configuration for
+// a point.
+func (e *Engine) Config(p Point) (arch.Config, error) {
+	e.mu.Lock()
+	entry, ok := e.cfgs[p]
+	e.mu.Unlock()
+	if ok {
+		return entry.cfg, entry.err
+	}
+	cfg, err := arch.NewConfig(p.Design, p.Lanes, p.Bits)
+	e.mu.Lock()
+	e.cfgs[p] = cfgEntry{cfg, err}
+	e.mu.Unlock()
+	return cfg, err
+}
+
+// CostCalls returns how many times the engine has actually invoked
+// arch.CostNetwork (cache hits do not count). It is the hook the
+// cache tests use to prove a warm sweep does no pricing work.
+func (e *Engine) CostCalls() int64 { return e.costCalls.Load() }
+
+// Evaluate prices one job, consulting the result LRU first. The
+// returned NetworkCost may be shared with other callers and must be
+// treated as read-only.
+func (e *Engine) Evaluate(ctx context.Context, job Job) (arch.NetworkCost, error) {
+	if err := ctx.Err(); err != nil {
+		return arch.NetworkCost{}, err
+	}
+	if c, ok := e.res.get(job); ok {
+		return c, nil
+	}
+	net, err := e.Network(job.Network)
+	if err != nil {
+		return arch.NetworkCost{}, err
+	}
+	cfg, err := e.Config(job.Point)
+	if err != nil {
+		return arch.NetworkCost{}, err
+	}
+	e.costCalls.Add(1)
+	c, err := arch.CostNetwork(net, cfg)
+	if err != nil {
+		return arch.NetworkCost{}, err
+	}
+	e.res.put(job, c)
+	return c, nil
+}
+
+// EvaluateNetwork is Evaluate for an explicit network value (registered
+// under its name for reuse).
+func (e *Engine) EvaluateNetwork(ctx context.Context, net cnn.Network, p Point) (arch.NetworkCost, error) {
+	e.mu.Lock()
+	if _, ok := e.nets[net.Name]; !ok {
+		e.nets[net.Name] = netEntry{net, nil}
+	}
+	e.mu.Unlock()
+	return e.Evaluate(ctx, Job{Network: net.Name, Point: p})
+}
+
+// Run evaluates every job across the worker pool and returns the costs
+// in job order: out[i] is jobs[i]'s cost, whatever the scheduling. The
+// jobs are pre-validated serially (memoized, so this is cheap), which
+// keeps validation errors deterministic: the first invalid job in
+// input order is reported, exactly as the old serial loop did. On
+// cancellation Run returns promptly with the context's error.
+func (e *Engine) Run(ctx context.Context, jobs []Job, opts RunOptions) ([]arch.NetworkCost, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		if _, err := e.Network(j.Network); err != nil {
+			return nil, fmt.Errorf("sweep: point %s %s: %w", j.Network, j.Point, err)
+		}
+		if _, err := e.Config(j.Point); err != nil {
+			return nil, fmt.Errorf("sweep: point %s %s: %w", j.Network, j.Point, err)
+		}
+	}
+
+	workers := e.workers
+	if opts.Workers > 0 {
+		workers = opts.Workers
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]arch.NetworkCost, len(jobs))
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	next.Store(-1)
+	var done int
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				c, err := e.Evaluate(runCtx, jobs[i])
+				out[i], errs[i] = c, err
+				if err != nil {
+					cancel() // abandon the rest of the grid
+					return
+				}
+				if opts.Progress != nil {
+					progressMu.Lock()
+					done++
+					opts.Progress(done, len(jobs))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Prefer a real evaluation failure over the collateral
+	// context.Canceled of jobs that were in flight when it hit.
+	var cancelled error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return nil, fmt.Errorf("sweep: point %s %s: %w", jobs[i].Network, jobs[i].Point, err)
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	return out, nil
+}
+
+// Grid enumerates the cross product of the axes in the canonical
+// deterministic order: design-major, then lanes, then bits.
+func Grid(designs []arch.Design, lanesAxis, bitsAxis []int) []Point {
+	out := make([]Point, 0, len(designs)*len(lanesAxis)*len(bitsAxis))
+	for _, d := range designs {
+		for _, lanes := range lanesAxis {
+			for _, bits := range bitsAxis {
+				out = append(out, Point{Design: d, Lanes: lanes, Bits: bits})
+			}
+		}
+	}
+	return out
+}

@@ -69,7 +69,7 @@ func ReadResultsJSON(r io.Reader) ([]Result, error) {
 		case "OO":
 			d = OO
 		default:
-			return nil, fmt.Errorf("pixel: unknown design %q in results", jr.Design)
+			return nil, fmt.Errorf("%w: %q in results", ErrUnknownDesign, jr.Design)
 		}
 		out[i] = Result{
 			Network:   jr.Network,

@@ -41,18 +41,32 @@ const (
 )
 
 // String implements fmt.Stringer.
-func (d Design) String() string { return d.arch().String() }
-
-func (d Design) arch() arch.Design {
+func (d Design) String() string {
 	switch d {
 	case EE:
-		return arch.EE
+		return "EE"
 	case OE:
-		return arch.OE
+		return "OE"
 	case OO:
-		return arch.OO
+		return "OO"
 	default:
-		return arch.Design(int(d))
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// arch maps the public enum onto the cost model's, surfacing
+// ErrUnknownDesign for values outside it instead of passing garbage
+// downstream.
+func (d Design) arch() (arch.Design, error) {
+	switch d {
+	case EE:
+		return arch.EE, nil
+	case OE:
+		return arch.OE, nil
+	case OO:
+		return arch.OO, nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownDesign, int(d))
 	}
 }
 
@@ -96,54 +110,16 @@ type LayerResult struct {
 }
 
 // Evaluate prices a full inference of the named network (see Networks)
-// under the given design, lane count and bits/lane.
+// under the given design, lane count and bits/lane. It is the
+// positional form of Point.Evaluate and shares the memoized engine.
 func Evaluate(network string, d Design, lanes, bits int) (Result, error) {
-	net, err := cnn.ByName(network)
-	if err != nil {
-		return Result{}, err
-	}
-	cfg, err := arch.NewConfig(d.arch(), lanes, bits)
-	if err != nil {
-		return Result{}, err
-	}
-	c, err := arch.CostNetwork(net, cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	res := Result{
-		Network: network,
-		Design:  d,
-		Lanes:   lanes,
-		Bits:    bits,
-		EnergyJ: c.Energy.Total(),
-		Breakdown: map[string]float64{
-			"mul":   c.Energy.Mul,
-			"add":   c.Energy.Add,
-			"act":   c.Energy.Act,
-			"o/e":   c.Energy.OtoE,
-			"comm":  c.Energy.Comm,
-			"laser": c.Energy.Laser,
-		},
-		LatencyS: c.Latency,
-		EDP:      c.EDP(),
-	}
-	for _, lc := range c.Layers {
-		res.PerLayer = append(res.PerLayer, LayerResult{
-			Name:     lc.Layer,
-			EnergyJ:  lc.Energy.Total(),
-			LatencyS: lc.Latency,
-		})
-	}
-	return res, nil
+	return Point{Design: d, Lanes: lanes, Bits: bits}.Evaluate(network)
 }
 
-// Area returns the MAC-unit ensemble area [m^2] of a design point.
+// Area returns the MAC-unit ensemble area [m^2] of a design point —
+// the positional form of Point.Area.
 func Area(d Design, lanes, bits int) (float64, error) {
-	cfg, err := arch.NewConfig(d.arch(), lanes, bits)
-	if err != nil {
-		return 0, err
-	}
-	return arch.Area(cfg).Total(), nil
+	return Point{Design: d, Lanes: lanes, Bits: bits}.Area()
 }
 
 // Experiments returns the ids of the paper artifacts this library
@@ -220,7 +196,7 @@ type MAC struct {
 // `terms` element pairs.
 func NewMAC(d Design, bits, terms int) (*MAC, error) {
 	if bits < 1 || bits > 16 {
-		return nil, fmt.Errorf("pixel: bits %d out of range [1,16]", bits)
+		return nil, fmt.Errorf("%w: bits %d out of range [1,16]", ErrBadPrecision, bits)
 	}
 	m := &MAC{design: d, bits: bits, led: optsim.NewLedger()}
 	cfg := omac.DefaultConfig(4, bits)
@@ -233,7 +209,7 @@ func NewMAC(d Design, bits, terms int) (*MAC, error) {
 	case OO:
 		m.oo, err = omac.NewOOUnit(cfg, terms)
 	default:
-		return nil, fmt.Errorf("pixel: unknown design %d", int(d))
+		return nil, fmt.Errorf("%w: %d", ErrUnknownDesign, int(d))
 	}
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package pixel
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -50,11 +51,11 @@ func TestEvaluate(t *testing.T) {
 	if diff := sum - r.EnergyJ; diff > 1e-9*r.EnergyJ || diff < -1e-9*r.EnergyJ {
 		t.Error("breakdown must sum to the total energy")
 	}
-	if _, err := Evaluate("NopeNet", EE, 4, 8); err == nil {
-		t.Error("unknown network should error")
+	if _, err := Evaluate("NopeNet", EE, 4, 8); !errors.Is(err, ErrUnknownNetwork) {
+		t.Errorf("unknown network: err = %v, want ErrUnknownNetwork", err)
 	}
-	if _, err := Evaluate("LeNet", EE, 0, 8); err == nil {
-		t.Error("invalid config should error")
+	if _, err := Evaluate("LeNet", EE, 0, 8); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("invalid config: err = %v, want ErrBadPrecision", err)
 	}
 }
 
@@ -68,8 +69,8 @@ func TestAreaOrderingPublic(t *testing.T) {
 	if !(ee < oe && oe < oo) {
 		t.Errorf("area ordering violated: %g %g %g", ee, oe, oo)
 	}
-	if _, err := Area(EE, 0, 4); err == nil {
-		t.Error("invalid config should error")
+	if _, err := Area(EE, 0, 4); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("invalid config: err = %v, want ErrBadPrecision", err)
 	}
 }
 
@@ -183,13 +184,13 @@ func TestMACSignedDotProductAllDesigns(t *testing.T) {
 }
 
 func TestNewMACValidation(t *testing.T) {
-	if _, err := NewMAC(EE, 0, 1); err == nil {
-		t.Error("bits 0 should error")
+	if _, err := NewMAC(EE, 0, 1); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("bits 0: err = %v, want ErrBadPrecision", err)
 	}
-	if _, err := NewMAC(EE, 17, 1); err == nil {
-		t.Error("bits 17 should error")
+	if _, err := NewMAC(EE, 17, 1); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("bits 17: err = %v, want ErrBadPrecision", err)
 	}
-	if _, err := NewMAC(Design(9), 8, 1); err == nil {
-		t.Error("unknown design should error")
+	if _, err := NewMAC(Design(9), 8, 1); !errors.Is(err, ErrUnknownDesign) {
+		t.Errorf("unknown design: err = %v, want ErrUnknownDesign", err)
 	}
 }

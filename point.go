@@ -1,0 +1,211 @@
+package pixel
+
+import (
+	"context"
+	"fmt"
+
+	"pixel/internal/arch"
+	"pixel/internal/interconnect"
+	"pixel/internal/mapper"
+	"pixel/internal/phy"
+	sweepeng "pixel/internal/sweep"
+)
+
+// Point is one design point of the paper's exploration space: a MAC
+// design, a lane (wavelength) count and a bits/lane burst width. It is
+// the value the evaluation API shares — Evaluate, EvaluatePower, Area,
+// MapToGrid and the sweep engine are all views of a Point; the
+// positional-argument forms remain as thin wrappers.
+type Point struct {
+	Design Design
+	Lanes  int
+	Bits   int
+}
+
+// String renders the point compactly ("OO/L4/B16").
+func (p Point) String() string {
+	return fmt.Sprintf("%s/L%d/B%d", p.Design, p.Lanes, p.Bits)
+}
+
+// Validate reports whether the point names a buildable configuration:
+// a known design (ErrUnknownDesign otherwise) with lanes and bits/lane
+// in the model's supported ranges (ErrBadPrecision otherwise).
+func (p Point) Validate() error {
+	ad, err := p.Design.arch()
+	if err != nil {
+		return err
+	}
+	if _, err := arch.NewConfig(ad, p.Lanes, p.Bits); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPrecision, err)
+	}
+	return nil
+}
+
+// engineJob converts the point to an engine job, surfacing
+// ErrUnknownDesign for designs outside the enum.
+func (p Point) engineJob(network string) (sweepeng.Job, error) {
+	ad, err := p.Design.arch()
+	if err != nil {
+		return sweepeng.Job{}, err
+	}
+	return sweepeng.Job{
+		Network: network,
+		Point:   sweepeng.Point{Design: ad, Lanes: p.Lanes, Bits: p.Bits},
+	}, nil
+}
+
+// Grid enumerates the cross product of the axes in the canonical
+// deterministic order: design-major, then lanes, then bits — the order
+// Sweep results come back in.
+func Grid(designs []Design, lanesAxis, bitsAxis []int) []Point {
+	out := make([]Point, 0, len(designs)*len(lanesAxis)*len(bitsAxis))
+	for _, d := range designs {
+		for _, lanes := range lanesAxis {
+			for _, bits := range bitsAxis {
+				out = append(out, Point{Design: d, Lanes: lanes, Bits: bits})
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate prices a full inference of the named network at this point,
+// through the shared memoized engine.
+func (p Point) Evaluate(network string) (Result, error) {
+	return EvaluateContext(context.Background(), network, p)
+}
+
+// EvaluateContext is Evaluate with cancellation: it returns promptly
+// with the context's error once ctx is done.
+func EvaluateContext(ctx context.Context, network string, p Point) (Result, error) {
+	if _, err := resolveNetwork(network); err != nil {
+		return Result{}, err
+	}
+	if _, err := p.config(); err != nil {
+		return Result{}, err
+	}
+	job, err := p.engineJob(network)
+	if err != nil {
+		return Result{}, err
+	}
+	c, err := defaultEngine.Evaluate(ctx, job)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFromCost(network, p, c), nil
+}
+
+// resultFromCost converts an engine NetworkCost (possibly shared with
+// other callers) into a freshly allocated public Result.
+func resultFromCost(network string, p Point, c arch.NetworkCost) Result {
+	res := Result{
+		Network: network,
+		Design:  p.Design,
+		Lanes:   p.Lanes,
+		Bits:    p.Bits,
+		EnergyJ: c.Energy.Total(),
+		Breakdown: map[string]float64{
+			"mul":   c.Energy.Mul,
+			"add":   c.Energy.Add,
+			"act":   c.Energy.Act,
+			"o/e":   c.Energy.OtoE,
+			"comm":  c.Energy.Comm,
+			"laser": c.Energy.Laser,
+		},
+		LatencyS: c.Latency,
+		EDP:      c.EDP(),
+	}
+	for _, lc := range c.Layers {
+		res.PerLayer = append(res.PerLayer, LayerResult{
+			Name:     lc.Layer,
+			EnergyJ:  lc.Energy.Total(),
+			LatencyS: lc.Latency,
+		})
+	}
+	return res
+}
+
+// Power returns the chip-level power budget of the named network at
+// this point.
+func (p Point) Power(network string) (PowerSummary, error) {
+	net, err := resolveNetwork(network)
+	if err != nil {
+		return PowerSummary{}, err
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return PowerSummary{}, err
+	}
+	pw, err := arch.Power(net, cfg)
+	if err != nil {
+		return PowerSummary{}, err
+	}
+	return PowerSummary{
+		Network:  network,
+		Design:   p.Design,
+		Lanes:    p.Lanes,
+		Bits:     p.Bits,
+		DynamicW: pw.DynamicW.Total(),
+		StaticW:  pw.TotalStaticW(),
+		LaserW:   pw.LaserIdleW,
+		TotalW:   pw.TotalW(),
+	}, nil
+}
+
+// Area returns the MAC-unit ensemble area [m^2] at this point.
+func (p Point) Area() (float64, error) {
+	cfg, err := p.config()
+	if err != nil {
+		return 0, err
+	}
+	return arch.Area(cfg).Total(), nil
+}
+
+// MapToGrid schedules the named network onto a rows x cols tile grid
+// at this point, using photonic weight streaming when photonicWeights
+// is set. Unusable grid shapes surface ErrBadGrid.
+func (p Point) MapToGrid(network string, rows, cols int, photonicWeights bool) (ScheduleSummary, error) {
+	net, err := resolveNetwork(network)
+	if err != nil {
+		return ScheduleSummary{}, err
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return ScheduleSummary{}, err
+	}
+	grid, err := interconnect.NewGrid(rows, cols, p.Lanes, 10*phy.Gigahertz)
+	if err != nil {
+		return ScheduleSummary{}, fmt.Errorf("%w: %v", ErrBadGrid, err)
+	}
+	transport := mapper.ElectricalPreload
+	if photonicWeights {
+		transport = mapper.PhotonicPreload
+	}
+	s, err := mapper.MapNetwork(net, grid, cfg, mapper.Options{Transport: transport})
+	if err != nil {
+		return ScheduleSummary{}, err
+	}
+	return ScheduleSummary{
+		Network:     network,
+		Rows:        rows,
+		Cols:        cols,
+		SequentialS: s.MakespanS,
+		PipelinedS:  s.PipelinedMakespanS,
+		PreloadJ:    s.PreloadJ,
+		Utilization: s.MeanUtilization(),
+	}, nil
+}
+
+// config builds the point's validated arch configuration through the
+// engine's memo, wrapping range failures with ErrBadPrecision.
+func (p Point) config() (arch.Config, error) {
+	ad, err := p.Design.arch()
+	if err != nil {
+		return arch.Config{}, err
+	}
+	cfg, err := defaultEngine.Config(sweepeng.Point{Design: ad, Lanes: p.Lanes, Bits: p.Bits})
+	if err != nil {
+		return arch.Config{}, fmt.Errorf("%w: %v", ErrBadPrecision, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,147 @@
+package pixel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPointValidate(t *testing.T) {
+	if err := (Point{OO, 4, 16}).Validate(); err != nil {
+		t.Errorf("valid point rejected: %v", err)
+	}
+	if err := (Point{Design(7), 4, 16}).Validate(); !errors.Is(err, ErrUnknownDesign) {
+		t.Errorf("unknown design: err = %v, want ErrUnknownDesign", err)
+	}
+	if err := (Point{EE, 0, 16}).Validate(); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("zero lanes: err = %v, want ErrBadPrecision", err)
+	}
+	if err := (Point{EE, 4, 65}).Validate(); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("oversized bits: err = %v, want ErrBadPrecision", err)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := (Point{OO, 4, 16}).String(); s != "OO/L4/B16" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := Design(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("out-of-enum design String() = %q", s)
+	}
+}
+
+// TestPointWrappersAgree locks the positional wrappers to the Point
+// methods they delegate to.
+func TestPointWrappersAgree(t *testing.T) {
+	p := Point{OO, 4, 8}
+
+	r1, err := Evaluate("LeNet", OO, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Evaluate("LeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.EnergyJ != r2.EnergyJ || r1.LatencyS != r2.LatencyS || r1.EDP != r2.EDP {
+		t.Error("Evaluate and Point.Evaluate disagree")
+	}
+
+	a1, err := Area(OO, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p.Area()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("Area and Point.Area disagree")
+	}
+
+	p1, err := EvaluatePower("LeNet", OO, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p.Power("LeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("EvaluatePower and Point.Power disagree")
+	}
+
+	s1, err := MapToGrid("LeNet", OO, 4, 8, 4, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.MapToGrid("LeNet", 4, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("MapToGrid and Point.MapToGrid disagree")
+	}
+}
+
+func TestEvaluateContext(t *testing.T) {
+	r, err := EvaluateContext(context.Background(), "LeNet", Point{OE, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EDP <= 0 {
+		t.Errorf("degenerate result %+v", r)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The network and point stay validated eagerly; only the pricing is
+	// subject to the context, and a cached hit may still succeed — so
+	// probe with a point the cache has never seen.
+	if _, err := EvaluateContext(ctx, "LeNet", Point{OE, 64, 61}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled evaluate: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	if _, err := Evaluate("NopeNet", EE, 4, 8); !errors.Is(err, ErrUnknownNetwork) {
+		t.Errorf("Evaluate unknown network: %v", err)
+	}
+	if _, err := Evaluate("LeNet", Design(42), 4, 8); !errors.Is(err, ErrUnknownDesign) {
+		t.Errorf("Evaluate unknown design: %v", err)
+	}
+	if _, err := Evaluate("LeNet", EE, 0, 8); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("Evaluate bad lanes: %v", err)
+	}
+	if _, err := Area(Design(42), 4, 8); !errors.Is(err, ErrUnknownDesign) {
+		t.Errorf("Area unknown design: %v", err)
+	}
+	if _, err := EvaluatePower("LeNet", EE, 4, 99); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("EvaluatePower bad bits: %v", err)
+	}
+	if _, err := MapToGrid("LeNet", OO, 4, 8, 0, 4, false); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("MapToGrid zero rows: %v", err)
+	}
+	if _, err := MapToGrid("LeNet", OO, 16, 8, 4, 16, false); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("MapToGrid over-budget plan: %v", err)
+	}
+	if _, err := NewMAC(Design(9), 8, 1); !errors.Is(err, ErrUnknownDesign) {
+		t.Errorf("NewMAC unknown design: %v", err)
+	}
+	if _, err := NewMAC(EE, 17, 1); !errors.Is(err, ErrBadPrecision) {
+		t.Errorf("NewMAC bad bits: %v", err)
+	}
+	if _, err := ReadResultsJSON(strings.NewReader(`[{"design":"XX"}]`)); !errors.Is(err, ErrUnknownDesign) {
+		t.Errorf("ReadResultsJSON bad design: %v", err)
+	}
+}
+
+func TestGridEnumeration(t *testing.T) {
+	points := Grid(Designs(), []int{2, 4}, []int{8, 16})
+	if len(points) != 12 {
+		t.Fatalf("grid size = %d, want 12", len(points))
+	}
+	if points[0] != (Point{EE, 2, 8}) || points[11] != (Point{OO, 4, 16}) {
+		t.Errorf("grid order wrong: first %v last %v", points[0], points[11])
+	}
+}

@@ -1,31 +1,127 @@
 package pixel
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"pixel/internal/cnn"
+	sweepeng "pixel/internal/sweep"
 )
+
+// defaultEngine backs every evaluation and sweep entry point of the
+// public API: a GOMAXPROCS worker pool with memoized network
+// resolution, configuration construction and a bounded LRU of whole
+// evaluation results. Repeating a sweep (or overlapping one — the
+// EE-normalized figures share reference points) does no pricing work
+// for points already in cache.
+var defaultEngine = sweepeng.New(sweepeng.Options{})
+
+// SweepOptions tunes one sweep call. The zero value (or a nil
+// *SweepOptions) means: one worker per CPU, no progress reporting.
+type SweepOptions struct {
+	// Workers overrides the worker-pool size; <= 0 keeps GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after each point completes
+	// with the completed and total counts. Calls are serialized; keep
+	// the callback fast.
+	Progress func(done, total int)
+}
+
+func (o *SweepOptions) runOptions() sweepeng.RunOptions {
+	if o == nil {
+		return sweepeng.RunOptions{}
+	}
+	return sweepeng.RunOptions{Workers: o.Workers, Progress: o.Progress}
+}
 
 // Sweep evaluates a network over a grid of design points — the
 // programmatic form of the design-space exploration the paper performs
 // across lanes and bits/lane. Results come back in deterministic order
-// (design, then lanes, then bits).
+// (design, then lanes, then bits), bit-identical to evaluating each
+// point serially, but computed across a worker pool with shared-work
+// memoization (see SweepContext).
 func Sweep(network string, designs []Design, lanesAxis, bitsAxis []int) ([]Result, error) {
 	if len(designs) == 0 || len(lanesAxis) == 0 || len(bitsAxis) == 0 {
 		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
 	}
-	var out []Result
-	for _, d := range designs {
-		for _, lanes := range lanesAxis {
-			for _, bits := range bitsAxis {
-				r, err := Evaluate(network, d, lanes, bits)
-				if err != nil {
-					return nil, fmt.Errorf("pixel: sweep point %v/%d/%d: %w", d, lanes, bits, err)
-				}
-				out = append(out, r)
-			}
+	return SweepContext(context.Background(), network, Grid(designs, lanesAxis, bitsAxis), nil)
+}
+
+// SweepContext evaluates a network over explicit design points (see
+// Grid) through the concurrent engine. Results come back in point
+// order regardless of worker scheduling. On cancellation it returns
+// promptly with the context's error; opts may be nil.
+func SweepContext(ctx context.Context, network string, points []Point, opts *SweepOptions) ([]Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
+	}
+	if _, err := resolveNetwork(network); err != nil {
+		return nil, err
+	}
+	jobs := make([]sweepeng.Job, len(points))
+	for i, p := range points {
+		job, err := p.engineJob(network)
+		if err != nil {
+			return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
 		}
+		jobs[i] = job
+	}
+	costs, err := defaultEngine.Run(ctx, jobs, opts.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(points))
+	for i, p := range points {
+		out[i] = resultFromCost(network, p, costs[i])
 	}
 	return out, nil
+}
+
+// SweepNetworks fans one grid of design points out across several
+// networks in a single worker-pool run. The result map holds one
+// point-ordered slice per network; the total grid is evaluated
+// concurrently with shared-work memoization across networks.
+func SweepNetworks(ctx context.Context, networks []string, points []Point, opts *SweepOptions) (map[string][]Result, error) {
+	if len(networks) == 0 || len(points) == 0 {
+		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
+	}
+	jobs := make([]sweepeng.Job, 0, len(networks)*len(points))
+	for _, name := range networks {
+		if _, err := resolveNetwork(name); err != nil {
+			return nil, err
+		}
+		for _, p := range points {
+			job, err := p.engineJob(name)
+			if err != nil {
+				return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	costs, err := defaultEngine.Run(ctx, jobs, opts.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Result, len(networks))
+	for ni, name := range networks {
+		results := make([]Result, len(points))
+		for pi, p := range points {
+			results[pi] = resultFromCost(name, p, costs[ni*len(points)+pi])
+		}
+		out[name] = results
+	}
+	return out, nil
+}
+
+// resolveNetwork looks a network up through the engine's memo,
+// wrapping misses with ErrUnknownNetwork.
+func resolveNetwork(name string) (cnn.Network, error) {
+	net, err := defaultEngine.Network(name)
+	if err != nil {
+		return cnn.Network{}, fmt.Errorf("%w: %v", ErrUnknownNetwork, err)
+	}
+	return net, nil
 }
 
 // BestEDP returns the sweep result with the lowest energy-delay
