@@ -1,21 +1,30 @@
-package pixel
+package pixel_test
 
 // One benchmark per published artifact of the paper's evaluation. Each
 // bench regenerates the artifact's full data series (the same rows the
 // corresponding table/figure reports), so `go test -bench=.` both
 // exercises the model end-to-end and gives the per-artifact
 // regeneration cost. Run `cmd/pixelsim -exp <id>` to see the rows.
+//
+// (External test package so the serving benchmarks can import
+// internal/server, which itself imports pixel.)
 
 import (
 	"context"
 	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"pixel"
 	"pixel/internal/arch"
 	"pixel/internal/cnn"
 	"pixel/internal/eval"
 	"pixel/internal/omac"
 	"pixel/internal/optsim"
+	"pixel/internal/server"
 	sweepeng "pixel/internal/sweep"
 )
 
@@ -122,16 +131,74 @@ func BenchmarkSweepCold(b *testing.B) {
 // this is the repeat-sweep cost the eval figures and long-running
 // services see.
 func BenchmarkSweep(b *testing.B) {
-	if _, err := Sweep("AlexNet", Designs(), benchSweepLanes, benchSweepBits); err != nil {
+	if _, err := pixel.Sweep("AlexNet", pixel.Designs(), benchSweepLanes, benchSweepBits); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Sweep("AlexNet", Designs(), benchSweepLanes, benchSweepBits); err != nil {
+		if _, err := pixel.Sweep("AlexNet", pixel.Designs(), benchSweepLanes, benchSweepBits); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Serving benchmarks: the HTTP overhead pixeld layers on top of
+// the engine (routing, JSON, coalescing, admission, metrics).
+
+func benchServer() *httptest.Server {
+	srv := server.New(server.Config{
+		Engine: pixel.NewEngine(pixel.EngineOptions{}),
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	return httptest.NewServer(srv.Handler())
+}
+
+func benchPost(b *testing.B, client *http.Client, url string) {
+	b.Helper()
+	resp, err := client.Post(url, "application/json",
+		strings.NewReader(`{"network":"AlexNet","design":"OO","lanes":4,"bits":16}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServerEvaluate measures one /v1/evaluate round trip: "warm"
+// is the steady-state path (result LRU hit, the serving overhead on
+// top of the ~55µs cached engine path); "cold" includes the first
+// pricing of the point on a fresh engine.
+func BenchmarkServerEvaluate(b *testing.B) {
+	b.Run("warm", func(b *testing.B) {
+		ts := benchServer()
+		defer ts.Close()
+		client := ts.Client()
+		benchPost(b, client, ts.URL+"/v1/evaluate") // prime the LRU
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, client, ts.URL+"/v1/evaluate")
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ts := benchServer()
+			client := ts.Client()
+			b.StartTimer()
+			benchPost(b, client, ts.URL+"/v1/evaluate")
+			b.StopTimer()
+			ts.Close()
+			b.StartTimer()
+		}
+	})
 }
 
 // --- Microbenchmarks of the simulator substrates, for profiling the

@@ -1,0 +1,73 @@
+// Command pixeld serves the PIXEL evaluation API over HTTP: single
+// design-point pricing, grid sweeps and tile-grid scheduling, backed
+// by the concurrent memoizing sweep engine with request coalescing,
+// admission control and Prometheus metrics (see internal/server and
+// docs/SERVER.md).
+//
+// Usage:
+//
+//	pixeld -addr :8764
+//	pixeld -addr 127.0.0.1:0 -max-inflight 32 -queue-timeout 100ms -cache-size 8192
+//
+// pixeld prints "pixeld: listening on <host:port>" once the listener
+// is bound (so :0 callers can discover the port) and drains in-flight
+// requests on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pixel"
+	"pixel/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pixeld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("pixeld", flag.ContinueOnError)
+	addr := fs.String("addr", ":8764", "listen address (host:port; port 0 picks a free port)")
+	maxInFlight := fs.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently evaluating requests before shedding")
+	queueTimeout := fs.Duration("queue-timeout", server.DefaultQueueTimeout, "how long an over-limit request queues before a 429")
+	requestTimeout := fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request evaluation deadline")
+	cacheSize := fs.Int("cache-size", 0, "result-LRU capacity in entries (0 = engine default)")
+	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		Engine:         pixel.NewEngine(pixel.EngineOptions{Workers: *workers, CacheSize: *cacheSize}),
+		MaxInFlight:    *maxInFlight,
+		QueueTimeout:   *queueTimeout,
+		RequestTimeout: *requestTimeout,
+		Logger:         logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pixeld: listening on %s\n", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"max_inflight", *maxInFlight, "queue_timeout", *queueTimeout,
+		"request_timeout", *requestTimeout)
+	return srv.Serve(ctx, ln, *drain)
+}

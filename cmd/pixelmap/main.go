@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"pixel/internal/arch"
+	"pixel/internal/cliutil"
 	"pixel/internal/cnn"
 	"pixel/internal/interconnect"
 	"pixel/internal/mapper"
@@ -25,19 +26,6 @@ func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "pixelmap:", err)
 		os.Exit(1)
-	}
-}
-
-func parseDesign(s string) (arch.Design, error) {
-	switch s {
-	case "EE":
-		return arch.EE, nil
-	case "OE":
-		return arch.OE, nil
-	case "OO":
-		return arch.OO, nil
-	default:
-		return 0, fmt.Errorf("unknown design %q (EE, OE, OO)", s)
 	}
 }
 
@@ -58,7 +46,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	design, err := parseDesign(*designStr)
+	design, err := cliutil.ParseArchDesign(*designStr)
 	if err != nil {
 		return err
 	}

@@ -15,10 +15,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 
 	"pixel"
+	"pixel/internal/cliutil"
 	"pixel/internal/report"
 )
 
@@ -27,30 +26,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pixelsweep:", err)
 		os.Exit(1)
 	}
-}
-
-func parseInts(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseNames(s string) []string {
-	parts := strings.Split(s, ",")
-	out := make([]string, 0, len(parts))
-	for _, p := range parts {
-		if name := strings.TrimSpace(p); name != "" {
-			out = append(out, name)
-		}
-	}
-	return out
 }
 
 func run(args []string) error {
@@ -64,15 +39,15 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	lanes, err := parseInts(*lanesStr)
+	lanes, err := cliutil.ParseInts(*lanesStr)
 	if err != nil {
 		return err
 	}
-	bits, err := parseInts(*bitsStr)
+	bits, err := cliutil.ParseInts(*bitsStr)
 	if err != nil {
 		return err
 	}
-	networks := parseNames(*netNames)
+	networks := cliutil.ParseNames(*netNames)
 	if len(networks) == 0 {
 		return fmt.Errorf("no networks given")
 	}

@@ -1,0 +1,166 @@
+package pixel
+
+import (
+	"context"
+	"fmt"
+
+	"pixel/internal/arch"
+	"pixel/internal/cnn"
+	sweepeng "pixel/internal/sweep"
+)
+
+// EngineOptions configures an Engine. The zero value is the default the
+// package-level API runs on.
+type EngineOptions struct {
+	// Workers is the sweep worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the result LRU (entries); <= 0 means the engine
+	// default (sweep.DefaultCacheSize, 4096).
+	CacheSize int
+}
+
+// Engine is an independent evaluation engine: a worker pool with
+// memoized network resolution, configuration construction and a bounded
+// LRU of whole evaluation results. The package-level Evaluate/Sweep
+// functions all run on a shared default Engine; construct your own when
+// you need an isolated cache or a tuned cache size — a long-running
+// server, a test that must not see another sweep's warm cache. An
+// Engine is safe for concurrent use.
+type Engine struct {
+	eng *sweepeng.Engine
+}
+
+// NewEngine returns an engine with the given options.
+func NewEngine(opts EngineOptions) *Engine {
+	return &Engine{eng: sweepeng.New(sweepeng.Options{
+		Workers:   opts.Workers,
+		CacheSize: opts.CacheSize,
+	})}
+}
+
+// CostCalls returns how many times the engine has actually priced a
+// network (cache hits do not count) — the hook cache tests and serving
+// metrics use to prove warm paths do no pricing work.
+func (e *Engine) CostCalls() int64 { return e.eng.CostCalls() }
+
+// CacheHits returns how many evaluations the result LRU has absorbed.
+func (e *Engine) CacheHits() int64 { return e.eng.CacheHits() }
+
+// resolveNetwork looks a network up through the engine's memo, wrapping
+// misses with ErrUnknownNetwork.
+func (e *Engine) resolveNetwork(name string) (cnn.Network, error) {
+	net, err := e.eng.Network(name)
+	if err != nil {
+		return cnn.Network{}, fmt.Errorf("%w: %v", ErrUnknownNetwork, err)
+	}
+	return net, nil
+}
+
+// config builds the point's validated arch configuration through the
+// engine's memo, wrapping range failures with ErrBadPrecision.
+func (e *Engine) config(p Point) (arch.Config, error) {
+	ad, err := p.Design.arch()
+	if err != nil {
+		return arch.Config{}, err
+	}
+	cfg, err := e.eng.Config(sweepeng.Point{Design: ad, Lanes: p.Lanes, Bits: p.Bits})
+	if err != nil {
+		return arch.Config{}, fmt.Errorf("%w: %v", ErrBadPrecision, err)
+	}
+	return cfg, nil
+}
+
+// EvaluateContext prices a full inference of the named network at the
+// point, consulting the result LRU first. It returns promptly with the
+// context's error once ctx is done.
+func (e *Engine) EvaluateContext(ctx context.Context, network string, p Point) (Result, error) {
+	if _, err := e.resolveNetwork(network); err != nil {
+		return Result{}, err
+	}
+	if _, err := e.config(p); err != nil {
+		return Result{}, err
+	}
+	job, err := p.engineJob(network)
+	if err != nil {
+		return Result{}, err
+	}
+	c, err := e.eng.Evaluate(ctx, job)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFromCost(network, p, c), nil
+}
+
+// SweepContext evaluates a network over explicit design points (see
+// Grid) through the worker pool. Results come back in point order
+// regardless of worker scheduling. On cancellation it returns promptly
+// with the context's error; opts may be nil.
+func (e *Engine) SweepContext(ctx context.Context, network string, points []Point, opts *SweepOptions) ([]Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
+	}
+	if _, err := e.resolveNetwork(network); err != nil {
+		return nil, err
+	}
+	jobs := make([]sweepeng.Job, len(points))
+	for i, p := range points {
+		job, err := p.engineJob(network)
+		if err != nil {
+			return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
+		}
+		// Validate up front (memoized) so precision failures surface
+		// the sentinel instead of a raw engine error mid-run.
+		if _, err := e.config(p); err != nil {
+			return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
+		}
+		jobs[i] = job
+	}
+	costs, err := e.eng.Run(ctx, jobs, opts.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(points))
+	for i, p := range points {
+		out[i] = resultFromCost(network, p, costs[i])
+	}
+	return out, nil
+}
+
+// SweepNetworks fans one grid of design points out across several
+// networks in a single worker-pool run. The result map holds one
+// point-ordered slice per network; the total grid is evaluated
+// concurrently with shared-work memoization across networks.
+func (e *Engine) SweepNetworks(ctx context.Context, networks []string, points []Point, opts *SweepOptions) (map[string][]Result, error) {
+	if len(networks) == 0 || len(points) == 0 {
+		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
+	}
+	jobs := make([]sweepeng.Job, 0, len(networks)*len(points))
+	for _, name := range networks {
+		if _, err := e.resolveNetwork(name); err != nil {
+			return nil, err
+		}
+		for _, p := range points {
+			job, err := p.engineJob(name)
+			if err != nil {
+				return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
+			}
+			if _, err := e.config(p); err != nil {
+				return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	costs, err := e.eng.Run(ctx, jobs, opts.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Result, len(networks))
+	for ni, name := range networks {
+		results := make([]Result, len(points))
+		for pi, p := range points {
+			results[pi] = resultFromCost(name, p, costs[ni*len(points)+pi])
+		}
+		out[name] = results
+	}
+	return out, nil
+}

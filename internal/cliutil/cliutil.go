@@ -1,0 +1,84 @@
+// Package cliutil holds the flag-parsing helpers the cmd/ tools share:
+// comma-separated integer axes, comma-separated name lists and MAC
+// design names. Each tool used to carry its own copy; this is the one
+// place they live now.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pixel"
+	"pixel/internal/arch"
+)
+
+// ParseInts parses a comma-separated list of positive integers — the
+// form every axis flag (-lanes, -bits) takes. Non-positive values wrap
+// pixel.ErrBadPrecision here, at the flag boundary, instead of passing
+// through to fail deep inside the model.
+func ParseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("%w: value %d in %q must be positive", pixel.ErrBadPrecision, v, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseNames splits a comma-separated name list, trimming whitespace
+// and dropping empty entries.
+func ParseNames(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if name := strings.TrimSpace(p); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ParseDesign parses a MAC design name into the public enum
+// (pixel.ErrUnknownDesign on anything but EE, OE, OO).
+func ParseDesign(s string) (pixel.Design, error) {
+	return pixel.ParseDesign(s)
+}
+
+// ParseDesigns parses a comma-separated design-name list.
+func ParseDesigns(s string) ([]pixel.Design, error) {
+	names := ParseNames(s)
+	out := make([]pixel.Design, 0, len(names))
+	for _, name := range names {
+		d, err := pixel.ParseDesign(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ParseArchDesign is ParseDesign for tools that drive the internal
+// cost model directly and need the arch-side enum.
+func ParseArchDesign(s string) (arch.Design, error) {
+	d, err := pixel.ParseDesign(s)
+	if err != nil {
+		return 0, fmt.Errorf("unknown design %q (EE, OE, OO)", s)
+	}
+	switch d {
+	case pixel.EE:
+		return arch.EE, nil
+	case pixel.OE:
+		return arch.OE, nil
+	default:
+		return arch.OO, nil
+	}
+}

@@ -1,0 +1,63 @@
+package cliutil
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pixel"
+	"pixel/internal/arch"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts(" 2, 4,8 ,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{2, 4, 8, 16}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseInts = %v, want %v", got, want)
+	}
+	if _, err := ParseInts("2,x"); err == nil {
+		t.Error("non-integer accepted")
+	}
+	for _, bad := range []string{"0", "-4", "2,0,8"} {
+		if _, err := ParseInts(bad); !errors.Is(err, pixel.ErrBadPrecision) {
+			t.Errorf("ParseInts(%q) err = %v, want ErrBadPrecision", bad, err)
+		}
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	got := ParseNames(" AlexNet, ,VGG16 ,")
+	if want := []string{"AlexNet", "VGG16"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseNames = %v, want %v", got, want)
+	}
+	if got := ParseNames(""); len(got) != 0 {
+		t.Errorf("ParseNames(\"\") = %v, want empty", got)
+	}
+}
+
+func TestParseDesigns(t *testing.T) {
+	got, err := ParseDesigns("EE,OO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []pixel.Design{pixel.EE, pixel.OO}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseDesigns = %v, want %v", got, want)
+	}
+	if _, err := ParseDesigns("EE,XX"); !errors.Is(err, pixel.ErrUnknownDesign) {
+		t.Errorf("unknown design err = %v, want ErrUnknownDesign", err)
+	}
+}
+
+func TestParseArchDesign(t *testing.T) {
+	for name, want := range map[string]arch.Design{"EE": arch.EE, "OE": arch.OE, "OO": arch.OO} {
+		got, err := ParseArchDesign(name)
+		if err != nil || got != want {
+			t.Errorf("ParseArchDesign(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseArchDesign("ZZ"); err == nil {
+		t.Error("unknown design accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errShed is the admission-control rejection: the server is at its
+// in-flight bound and the request did not get a slot within the queue
+// timeout. Handlers map it to HTTP 429 with a Retry-After hint.
+var errShed = errors.New("server: overloaded, request shed")
+
+// limiter is the admission controller: a bounded in-flight semaphore
+// with a queue timeout. Rather than letting fan-in stack goroutines
+// without bound and collapse tail latency, requests beyond MaxInFlight
+// wait at most queueTimeout for a slot and are then shed.
+type limiter struct {
+	sem          chan struct{}
+	queueTimeout time.Duration
+}
+
+func newLimiter(maxInFlight int, queueTimeout time.Duration) *limiter {
+	return &limiter{
+		sem:          make(chan struct{}, maxInFlight),
+		queueTimeout: queueTimeout,
+	}
+}
+
+// acquire takes an in-flight slot, waiting up to the queue timeout.
+// It returns errShed on timeout, or ctx's error if the caller gave up
+// first. A nil error means the caller owns a slot and must release it.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	t := time.NewTimer(l.queueTimeout)
+	defer t.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.sem }

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimiterShedsAfterQueueTimeout(t *testing.T) {
+	l := newLimiter(1, 20*time.Millisecond)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := l.acquire(context.Background())
+	if !errors.Is(err, errShed) {
+		t.Fatalf("second acquire err = %v, want errShed", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("shed after %v, before the queue timeout", elapsed)
+	}
+	l.release()
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestLimiterQueuedRequestGetsFreedSlot(t *testing.T) {
+	l := newLimiter(1, time.Second)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		l.release()
+	}()
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatalf("queued acquire err = %v, want slot from release", err)
+	}
+}
+
+func TestLimiterRespectsCallerContext(t *testing.T) {
+	l := newLimiter(1, time.Minute)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := l.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,346 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"pixel"
+)
+
+// statusClientClosedRequest is the nginx-convention status recorded
+// when the client hung up before the response was ready; nothing
+// reaches the wire, but logs and counters need a code.
+const statusClientClosedRequest = 499
+
+// maxSweepJobs bounds the (networks x points) size of one sweep
+// request; grids beyond it are rejected up front instead of tying a
+// worker pool up for minutes on one caller.
+const maxSweepJobs = 65536
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// httpError carries an explicit status for request-shape failures
+// (bad JSON, missing fields) that have no engine sentinel.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusFor maps an error to its documented HTTP status: the engine
+// sentinels via errors.Is (unknown network 404; unknown design, bad
+// precision, bad grid 400), shed requests 429, deadline 504, client
+// hang-up 499, anything else 500.
+func statusFor(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, errShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, pixel.ErrUnknownNetwork):
+		return http.StatusNotFound
+	case errors.Is(err, pixel.ErrUnknownDesign),
+		errors.Is(err, pixel.ErrBadPrecision),
+		errors.Is(err, pixel.ErrBadGrid):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError renders err as the JSON error envelope. Shed requests get
+// a Retry-After hint sized to the queue timeout and count toward the
+// shed metric.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprint(int(math.Ceil(math.Max(s.retryAfter.Seconds(), 1)))))
+	}
+	writeJSON(w, status, errorBody{Error: errorDetail{Status: status, Message: err.Error()}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+// decodeJSON parses a bounded request body strictly: unknown fields
+// are rejected so schema typos fail loudly instead of silently
+// evaluating defaults.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequestf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// apiResult is the wire form of pixel.Result, field-compatible with
+// the pixelsweep -json output.
+type apiResult struct {
+	Network  string             `json:"network"`
+	Design   string             `json:"design"`
+	Lanes    int                `json:"lanes"`
+	Bits     int                `json:"bits"`
+	EnergyJ  float64            `json:"energy_j"`
+	LatencyS float64            `json:"latency_s"`
+	EDP      float64            `json:"edp_js"`
+	Energy   map[string]float64 `json:"energy_breakdown_j"`
+	PerLayer []apiLayer         `json:"per_layer,omitempty"`
+}
+
+type apiLayer struct {
+	Name     string  `json:"name"`
+	EnergyJ  float64 `json:"energy_j"`
+	LatencyS float64 `json:"latency_s"`
+}
+
+// toAPIResult converts a Result; per-layer rows ride along only on
+// single-point responses (a sweep would multiply the payload by the
+// layer count for data most clients aggregate anyway).
+func toAPIResult(r pixel.Result, perLayer bool) apiResult {
+	out := apiResult{
+		Network:  r.Network,
+		Design:   r.Design.String(),
+		Lanes:    r.Lanes,
+		Bits:     r.Bits,
+		EnergyJ:  r.EnergyJ,
+		LatencyS: r.LatencyS,
+		EDP:      r.EDP,
+		Energy:   r.Breakdown,
+	}
+	if perLayer {
+		out.PerLayer = make([]apiLayer, len(r.PerLayer))
+		for i, l := range r.PerLayer {
+			out.PerLayer[i] = apiLayer{Name: l.Name, EnergyJ: l.EnergyJ, LatencyS: l.LatencyS}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s.engine)
+}
+
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"networks": pixel.Networks()})
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, 3)
+	for _, d := range pixel.Designs() {
+		names = append(names, d.String())
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"designs": names})
+}
+
+// evaluateRequest is the POST /v1/evaluate body: one design point of
+// one network.
+type evaluateRequest struct {
+	Network string `json:"network"`
+	Design  string `json:"design"`
+	Lanes   int    `json:"lanes"`
+	Bits    int    `json:"bits"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	d, err := pixel.ParseDesign(req.Design)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p := pixel.Point{Design: d, Lanes: req.Lanes, Bits: req.Bits}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+	defer cancel()
+
+	key := req.Network + "|" + p.String()
+	res, shared, err := s.evalFlights.Do(ctx, key, func(ctx context.Context) (pixel.Result, error) {
+		if err := s.limiter.acquire(ctx); err != nil {
+			return pixel.Result{}, err
+		}
+		defer s.limiter.release()
+		return s.engine.EvaluateContext(ctx, req.Network, p)
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toAPIResult(res, true))
+}
+
+// sweepRequest is the POST /v1/sweep body: the cross product of
+// designs x lanes x bits evaluated for every listed network. An empty
+// designs list means all three.
+type sweepRequest struct {
+	Networks []string `json:"networks"`
+	Designs  []string `json:"designs"`
+	Lanes    []int    `json:"lanes"`
+	Bits     []int    `json:"bits"`
+}
+
+type sweepResponse struct {
+	Points  int                    `json:"points"`
+	Results map[string][]apiResult `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Networks) == 0 {
+		s.writeError(w, badRequestf("networks must be non-empty"))
+		return
+	}
+	if len(req.Lanes) == 0 || len(req.Bits) == 0 {
+		s.writeError(w, badRequestf("lanes and bits axes must be non-empty"))
+		return
+	}
+	designs := pixel.Designs()
+	if len(req.Designs) > 0 {
+		designs = designs[:0]
+		for _, name := range req.Designs {
+			d, err := pixel.ParseDesign(name)
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+			designs = append(designs, d)
+		}
+	}
+	points := pixel.Grid(designs, req.Lanes, req.Bits)
+	if jobs := len(req.Networks) * len(points); jobs > maxSweepJobs {
+		s.writeError(w, badRequestf("sweep of %d jobs exceeds the %d-job limit", jobs, maxSweepJobs))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+	defer cancel()
+
+	key := fmt.Sprintf("%q|%v|%v|%v", req.Networks, designs, req.Lanes, req.Bits)
+	networks := req.Networks
+	byNet, shared, err := s.sweepFlights.Do(ctx, key, func(ctx context.Context) (map[string][]pixel.Result, error) {
+		if err := s.limiter.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.limiter.release()
+		return s.engine.SweepNetworks(ctx, networks, points, nil)
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := sweepResponse{Points: len(points), Results: make(map[string][]apiResult, len(byNet))}
+	for name, results := range byNet {
+		rows := make([]apiResult, len(results))
+		for i, res := range results {
+			rows[i] = toAPIResult(res, false)
+		}
+		resp.Results[name] = rows
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// mapRequest is the POST /v1/map body: schedule a network onto a
+// rows x cols tile grid at a design point.
+type mapRequest struct {
+	Network         string `json:"network"`
+	Design          string `json:"design"`
+	Lanes           int    `json:"lanes"`
+	Bits            int    `json:"bits"`
+	Rows            int    `json:"rows"`
+	Cols            int    `json:"cols"`
+	PhotonicWeights bool   `json:"photonic_weights"`
+}
+
+type mapResponse struct {
+	Network     string  `json:"network"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	SequentialS float64 `json:"sequential_s"`
+	PipelinedS  float64 `json:"pipelined_s"`
+	PreloadJ    float64 `json:"preload_j"`
+	Utilization float64 `json:"utilization"`
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req mapRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	d, err := pixel.ParseDesign(req.Design)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+	defer cancel()
+	if err := s.limiter.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.limiter.release()
+
+	sched, err := pixel.MapToGrid(req.Network, d, req.Lanes, req.Bits, req.Rows, req.Cols, req.PhotonicWeights)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mapResponse{
+		Network:     sched.Network,
+		Rows:        sched.Rows,
+		Cols:        sched.Cols,
+		SequentialS: sched.SequentialS,
+		PipelinedS:  sched.PipelinedS,
+		PreloadJ:    sched.PreloadJ,
+		Utilization: sched.Utilization,
+	})
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the status code and body size a handler
+// writes, for the request log and the route/code counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the serving middleware: in-flight
+// gauge, per-route request/latency metrics and a structured log line
+// per request. route is the metric label (the registration pattern
+// without the method).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+
+		elapsed := time.Since(start)
+		s.metrics.observe(route, rec.status, elapsed.Seconds())
+		s.logger.Info("request",
+			"method", r.Method,
+			"route", route,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration", elapsed,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

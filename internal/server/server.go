@@ -1,0 +1,150 @@
+// Package server is pixeld's serving layer: an HTTP/JSON facade over
+// the sweep engine with the production machinery a shared evaluation
+// service needs — request coalescing (identical in-flight requests
+// share one engine computation, layered above the engine's result
+// LRU), admission control with load shedding (bounded in-flight
+// semaphore, queue timeout, 429 + Retry-After), per-request deadlines
+// propagated as context, Prometheus-format metrics and structured
+// request logging, and graceful drain on shutdown.
+//
+// Routes:
+//
+//	POST /v1/evaluate   price one (network, design, lanes, bits) point
+//	POST /v1/sweep      evaluate a grid across one or more networks
+//	POST /v1/map        schedule a network onto a tile grid
+//	GET  /v1/networks   the CNN zoo
+//	GET  /v1/designs    the MAC designs
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"pixel"
+)
+
+// Evaluator is the engine surface the server serves: single-point and
+// grid evaluation plus the cache-observability hooks. *pixel.Engine
+// implements it; tests substitute controllable fakes.
+type Evaluator interface {
+	EvaluateContext(ctx context.Context, network string, p pixel.Point) (pixel.Result, error)
+	SweepNetworks(ctx context.Context, networks []string, points []pixel.Point, opts *pixel.SweepOptions) (map[string][]pixel.Result, error)
+	CostCalls() int64
+	CacheHits() int64
+}
+
+// Config configures a Server. Engine is required; everything else has
+// a serving-sane default.
+type Config struct {
+	// Engine evaluates requests. Required.
+	Engine Evaluator
+	// MaxInFlight bounds concurrently evaluating requests (after
+	// coalescing — followers of a shared flight do not hold slots);
+	// <= 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// QueueTimeout is how long an over-limit request waits for a slot
+	// before being shed with 429; <= 0 means DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// RequestTimeout is the per-request evaluation deadline, enforced
+	// via context through the engine; <= 0 means DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// Logger receives structured request logs; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// Defaults for the Config knobs (also the pixeld flag defaults).
+const (
+	DefaultMaxInFlight    = 64
+	DefaultQueueTimeout   = 250 * time.Millisecond
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+// Server is the HTTP evaluation service. Construct with New; the zero
+// value is not usable.
+type Server struct {
+	engine         Evaluator
+	limiter        *limiter
+	metrics        *metrics
+	logger         *slog.Logger
+	requestTimeout time.Duration
+	retryAfter     time.Duration
+
+	evalFlights  *flightGroup[pixel.Result]
+	sweepFlights *flightGroup[map[string][]pixel.Result]
+}
+
+// New builds a Server from cfg, applying defaults to unset knobs.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("server: Config.Engine is required")
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	queueTimeout := cfg.QueueTimeout
+	if queueTimeout <= 0 {
+		queueTimeout = DefaultQueueTimeout
+	}
+	requestTimeout := cfg.RequestTimeout
+	if requestTimeout <= 0 {
+		requestTimeout = DefaultRequestTimeout
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{
+		engine:         cfg.Engine,
+		limiter:        newLimiter(maxInFlight, queueTimeout),
+		metrics:        newMetrics(),
+		logger:         logger,
+		requestTimeout: requestTimeout,
+		retryAfter:     queueTimeout,
+		evalFlights:    newFlightGroup[pixel.Result](),
+		sweepFlights:   newFlightGroup[map[string][]pixel.Result](),
+	}
+}
+
+// Handler returns the server's routing tree with logging and metrics
+// middleware applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("GET /v1/networks", s.instrument("/v1/networks", s.handleNetworks))
+	mux.Handle("GET /v1/designs", s.instrument("/v1/designs", s.handleDesigns))
+	mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
+	mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.Handle("POST /v1/map", s.instrument("/v1/map", s.handleMap))
+	return mux
+}
+
+// Serve runs the service on ln until ctx is cancelled, then drains
+// in-flight requests for at most drain before forcing connections
+// closed. It returns once shutdown completes (nil on a clean drain).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(s.logger.Handler(), slog.LevelWarn),
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.logger.Info("shutting down", "drain", drain)
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(dctx)
+	}()
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-shutdownErr
+}

@@ -9,7 +9,10 @@ import (
 
 // lruCache is a mutex-guarded bounded LRU of whole evaluation results,
 // keyed by Job. Hits refresh recency; inserts beyond capacity evict
-// the least recently used entry.
+// the least recently used entry. A capacity <= 0 disables the cache
+// entirely: gets always miss and puts are dropped, instead of the
+// degenerate insert-then-immediately-evict churn a zero bound would
+// otherwise produce.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -23,10 +26,14 @@ type lruEntry struct {
 }
 
 func newLRU(capacity int) *lruCache {
+	size := capacity
+	if size < 0 {
+		size = 0
+	}
 	return &lruCache{
 		cap:   capacity,
 		order: list.New(),
-		items: make(map[Job]*list.Element, capacity),
+		items: make(map[Job]*list.Element, size),
 	}
 }
 
@@ -42,6 +49,9 @@ func (c *lruCache) get(key Job) (arch.NetworkCost, bool) {
 }
 
 func (c *lruCache) put(key Job, cost arch.NetworkCost) {
+	if c.cap <= 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {

@@ -85,6 +85,7 @@ type Engine struct {
 	res  *lruCache
 
 	costCalls atomic.Int64
+	cacheHits atomic.Int64
 }
 
 type netEntry struct {
@@ -159,6 +160,10 @@ func (e *Engine) Config(p Point) (arch.Config, error) {
 // cache tests use to prove a warm sweep does no pricing work.
 func (e *Engine) CostCalls() int64 { return e.costCalls.Load() }
 
+// CacheHits returns how many evaluations the result LRU has absorbed —
+// the companion hook to CostCalls for serving metrics.
+func (e *Engine) CacheHits() int64 { return e.cacheHits.Load() }
+
 // Evaluate prices one job, consulting the result LRU first. The
 // returned NetworkCost may be shared with other callers and must be
 // treated as read-only.
@@ -167,6 +172,7 @@ func (e *Engine) Evaluate(ctx context.Context, job Job) (arch.NetworkCost, error
 		return arch.NetworkCost{}, err
 	}
 	if c, ok := e.res.get(job); ok {
+		e.cacheHits.Add(1)
 		return c, nil
 	}
 	net, err := e.Network(job.Network)

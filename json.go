@@ -60,16 +60,9 @@ func ReadResultsJSON(r io.Reader) ([]Result, error) {
 	}
 	out := make([]Result, len(raw))
 	for i, jr := range raw {
-		var d Design
-		switch jr.Design {
-		case "EE":
-			d = EE
-		case "OE":
-			d = OE
-		case "OO":
-			d = OO
-		default:
-			return nil, fmt.Errorf("%w: %q in results", ErrUnknownDesign, jr.Design)
+		d, err := ParseDesign(jr.Design)
+		if err != nil {
+			return nil, fmt.Errorf("%w in results", err)
 		}
 		out[i] = Result{
 			Network:   jr.Network,

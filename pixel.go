@@ -73,6 +73,22 @@ func (d Design) arch() (arch.Design, error) {
 // Designs lists all three designs in presentation order.
 func Designs() []Design { return []Design{EE, OE, OO} }
 
+// ParseDesign maps a design name ("EE", "OE", "OO") back to its enum
+// value — the inverse of Design.String. Unrecognized names surface
+// ErrUnknownDesign.
+func ParseDesign(s string) (Design, error) {
+	switch s {
+	case "EE":
+		return EE, nil
+	case "OE":
+		return OE, nil
+	case "OO":
+		return OO, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDesign, s)
+	}
+}
+
 // Networks returns the names of the six CNNs of the paper's evaluation.
 func Networks() []string {
 	nets := cnn.All()

@@ -78,21 +78,7 @@ func (p Point) Evaluate(network string) (Result, error) {
 // EvaluateContext is Evaluate with cancellation: it returns promptly
 // with the context's error once ctx is done.
 func EvaluateContext(ctx context.Context, network string, p Point) (Result, error) {
-	if _, err := resolveNetwork(network); err != nil {
-		return Result{}, err
-	}
-	if _, err := p.config(); err != nil {
-		return Result{}, err
-	}
-	job, err := p.engineJob(network)
-	if err != nil {
-		return Result{}, err
-	}
-	c, err := defaultEngine.Evaluate(ctx, job)
-	if err != nil {
-		return Result{}, err
-	}
-	return resultFromCost(network, p, c), nil
+	return defaultEngine.EvaluateContext(ctx, network, p)
 }
 
 // resultFromCost converts an engine NetworkCost (possibly shared with
@@ -197,15 +183,7 @@ func (p Point) MapToGrid(network string, rows, cols int, photonicWeights bool) (
 }
 
 // config builds the point's validated arch configuration through the
-// engine's memo, wrapping range failures with ErrBadPrecision.
+// default engine's memo, wrapping range failures with ErrBadPrecision.
 func (p Point) config() (arch.Config, error) {
-	ad, err := p.Design.arch()
-	if err != nil {
-		return arch.Config{}, err
-	}
-	cfg, err := defaultEngine.Config(sweepeng.Point{Design: ad, Lanes: p.Lanes, Bits: p.Bits})
-	if err != nil {
-		return arch.Config{}, fmt.Errorf("%w: %v", ErrBadPrecision, err)
-	}
-	return cfg, nil
+	return defaultEngine.config(p)
 }

@@ -10,12 +10,12 @@ import (
 )
 
 // defaultEngine backs every evaluation and sweep entry point of the
-// public API: a GOMAXPROCS worker pool with memoized network
+// package-level API: a GOMAXPROCS worker pool with memoized network
 // resolution, configuration construction and a bounded LRU of whole
 // evaluation results. Repeating a sweep (or overlapping one — the
 // EE-normalized figures share reference points) does no pricing work
-// for points already in cache.
-var defaultEngine = sweepeng.New(sweepeng.Options{})
+// for points already in cache. Independent engines come from NewEngine.
+var defaultEngine = NewEngine(EngineOptions{})
 
 // SweepOptions tunes one sweep call. The zero value (or a nil
 // *SweepOptions) means: one worker per CPU, no progress reporting.
@@ -53,29 +53,7 @@ func Sweep(network string, designs []Design, lanesAxis, bitsAxis []int) ([]Resul
 // order regardless of worker scheduling. On cancellation it returns
 // promptly with the context's error; opts may be nil.
 func SweepContext(ctx context.Context, network string, points []Point, opts *SweepOptions) ([]Result, error) {
-	if len(points) == 0 {
-		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
-	}
-	if _, err := resolveNetwork(network); err != nil {
-		return nil, err
-	}
-	jobs := make([]sweepeng.Job, len(points))
-	for i, p := range points {
-		job, err := p.engineJob(network)
-		if err != nil {
-			return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
-		}
-		jobs[i] = job
-	}
-	costs, err := defaultEngine.Run(ctx, jobs, opts.runOptions())
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Result, len(points))
-	for i, p := range points {
-		out[i] = resultFromCost(network, p, costs[i])
-	}
-	return out, nil
+	return defaultEngine.SweepContext(ctx, network, points, opts)
 }
 
 // SweepNetworks fans one grid of design points out across several
@@ -83,45 +61,13 @@ func SweepContext(ctx context.Context, network string, points []Point, opts *Swe
 // point-ordered slice per network; the total grid is evaluated
 // concurrently with shared-work memoization across networks.
 func SweepNetworks(ctx context.Context, networks []string, points []Point, opts *SweepOptions) (map[string][]Result, error) {
-	if len(networks) == 0 || len(points) == 0 {
-		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
-	}
-	jobs := make([]sweepeng.Job, 0, len(networks)*len(points))
-	for _, name := range networks {
-		if _, err := resolveNetwork(name); err != nil {
-			return nil, err
-		}
-		for _, p := range points {
-			job, err := p.engineJob(name)
-			if err != nil {
-				return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
-			}
-			jobs = append(jobs, job)
-		}
-	}
-	costs, err := defaultEngine.Run(ctx, jobs, opts.runOptions())
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string][]Result, len(networks))
-	for ni, name := range networks {
-		results := make([]Result, len(points))
-		for pi, p := range points {
-			results[pi] = resultFromCost(name, p, costs[ni*len(points)+pi])
-		}
-		out[name] = results
-	}
-	return out, nil
+	return defaultEngine.SweepNetworks(ctx, networks, points, opts)
 }
 
-// resolveNetwork looks a network up through the engine's memo,
+// resolveNetwork looks a network up through the default engine's memo,
 // wrapping misses with ErrUnknownNetwork.
 func resolveNetwork(name string) (cnn.Network, error) {
-	net, err := defaultEngine.Network(name)
-	if err != nil {
-		return cnn.Network{}, fmt.Errorf("%w: %v", ErrUnknownNetwork, err)
-	}
-	return net, nil
+	return defaultEngine.resolveNetwork(name)
 }
 
 // BestEDP returns the sweep result with the lowest energy-delay
