@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -75,8 +76,10 @@ func main() {
 		input.Data[i] = rng.Int63n(maxVal + 1)
 	}
 
-	// Reference pass: plain integers.
-	ref, err := model.Run(input, qnn.ReferenceDotter{})
+	// Reference pass: plain integers, fanned across a worker pool
+	// (ReferenceDotter is stateless, so any worker count is safe and
+	// bit-identical to the serial run).
+	ref, err := model.RunContext(context.Background(), input, qnn.ReferenceDotter{}, qnn.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,6 +34,25 @@ func BenchmarkDotProduct16x8Bit(b *testing.B) {
 	}
 }
 
+func BenchmarkFastDotProduct16x8Bit(b *testing.B) {
+	e, err := NewFastEngine(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ns := make([]uint64, 16)
+	ss := make([]uint64, 16)
+	for i := range ns {
+		ns[i] = uint64(i * 7 % 256)
+		ss[i] = uint64(i * 13 % 256)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.DotProduct(ns, ss); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSignedDotProduct(b *testing.B) {
 	e, err := NewSignedEngine(8, 16)
 	if err != nil {

@@ -102,6 +102,13 @@ func (e *Engine) Multiply(neuron, synapse uint64) (uint64, Stats, error) {
 	if err := e.checkOperand("synapse", synapse); err != nil {
 		return 0, Stats{}, err
 	}
+	return e.multiplyUnchecked(neuron, synapse)
+}
+
+// multiplyUnchecked is Multiply without the operand-range checks, for
+// callers (DotProduct) that have already validated whole vectors up
+// front.
+func (e *Engine) multiplyUnchecked(neuron, synapse uint64) (uint64, Stats, error) {
 	var acc uint64
 	var st Stats
 	for j := 0; j < e.bits; j++ {
@@ -130,10 +137,20 @@ func (e *Engine) DotProduct(neurons, synapses []uint64) (uint64, Stats, error) {
 	if len(neurons) != len(synapses) {
 		return 0, Stats{}, fmt.Errorf("bitserial: vector lengths differ (%d vs %d)", len(neurons), len(synapses))
 	}
+	// Validate both vectors up front so the per-element multiply loop
+	// runs unchecked.
+	for i := range neurons {
+		if err := e.checkOperand("neuron", neurons[i]); err != nil {
+			return 0, Stats{}, err
+		}
+		if err := e.checkOperand("synapse", synapses[i]); err != nil {
+			return 0, Stats{}, err
+		}
+	}
 	var acc uint64
 	var st Stats
 	for i := range neurons {
-		p, ps, err := e.Multiply(neurons[i], synapses[i])
+		p, ps, err := e.multiplyUnchecked(neurons[i], synapses[i])
 		if err != nil {
 			return 0, Stats{}, err
 		}

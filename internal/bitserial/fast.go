@@ -1,0 +1,165 @@
+package bitserial
+
+import (
+	"fmt"
+
+	"pixel/internal/elec"
+)
+
+// Stripes is the engine surface shared by the gate-model Engine and
+// the word-level FastEngine, so callers (and the equivalence tests)
+// can treat either as the electrical ground truth.
+type Stripes interface {
+	Bits() int
+	AccumulatorWidth() int
+	Multiply(neuron, synapse uint64) (uint64, Stats, error)
+	DotProduct(neurons, synapses []uint64) (uint64, Stats, error)
+	Window(inputs [][]uint64, synapses [][][]uint64) ([]uint64, Stats, error)
+}
+
+var (
+	_ Stripes = (*Engine)(nil)
+	_ Stripes = (*FastEngine)(nil)
+)
+
+// FastEngine computes the same bit-serial results as Engine without
+// simulating the CLA adder and barrel shifter cycle by cycle. Both the
+// value and the Stats of a Stripes multiply are closed-form — the
+// accumulator wraps at the accumulator width, and each multiply costs
+// Cycles = bits, BitANDs = bits², Adds = Shifts = bits — so a word-level
+// multiply plus masking reproduces the gate model exactly. The gate
+// model stays as the oracle; TestFastEngineEquivalence pins the two
+// together over random operands.
+//
+// A FastEngine is stateless after construction and safe for concurrent
+// use, which is what lets the parallel qnn pipeline run whole CNNs
+// through the Stripes datapath across a worker pool.
+type FastEngine struct {
+	bits     int
+	accWidth int
+	mask     uint64
+	accMask  uint64
+}
+
+// NewFastEngine returns a fast engine with the same operand and
+// accumulator geometry as NewEngine(bits, terms).
+func NewFastEngine(bits, terms int) (*FastEngine, error) {
+	if bits < 1 || bits > 24 {
+		return nil, fmt.Errorf("bitserial: operand width %d out of range [1,24]", bits)
+	}
+	if terms < 1 {
+		return nil, fmt.Errorf("bitserial: term count must be >= 1")
+	}
+	accWidth := elec.AccumulatorWidth(bits, terms)
+	if accWidth > 64 {
+		return nil, fmt.Errorf("bitserial: accumulator width %d exceeds 64 bits", accWidth)
+	}
+	accMask := ^uint64(0)
+	if accWidth < 64 {
+		accMask = (uint64(1) << uint(accWidth)) - 1
+	}
+	return &FastEngine{
+		bits:     bits,
+		accWidth: accWidth,
+		mask:     (uint64(1) << uint(bits)) - 1,
+		accMask:  accMask,
+	}, nil
+}
+
+// Bits returns the operand precision.
+func (e *FastEngine) Bits() int { return e.bits }
+
+// AccumulatorWidth returns the accumulator width in bits.
+func (e *FastEngine) AccumulatorWidth() int { return e.accWidth }
+
+// checkOperand validates that v fits in the engine's precision.
+func (e *FastEngine) checkOperand(name string, v uint64) error {
+	if v > e.mask {
+		return fmt.Errorf("bitserial: %s %d exceeds %d-bit range", name, v, e.bits)
+	}
+	return nil
+}
+
+// multiplyStats is the closed-form work record of one bit-serial
+// multiply: one synapse bit per cycle gating the bits-wide neuron word
+// (bits ANDs per cycle), one shift and one accumulate per cycle.
+func (e *FastEngine) multiplyStats() Stats {
+	return Stats{
+		Cycles:  e.bits,
+		BitANDs: e.bits * e.bits,
+		Adds:    e.bits,
+		Shifts:  e.bits,
+	}
+}
+
+// Multiply returns the identical (value, Stats) the gate-model Engine
+// produces. The product of two bits-wide operands always fits in the
+// 2*bits-or-wider accumulator, so the word multiply is exact; the mask
+// is kept for form.
+func (e *FastEngine) Multiply(neuron, synapse uint64) (uint64, Stats, error) {
+	if err := e.checkOperand("neuron", neuron); err != nil {
+		return 0, Stats{}, err
+	}
+	if err := e.checkOperand("synapse", synapse); err != nil {
+		return 0, Stats{}, err
+	}
+	return (neuron * synapse) & e.accMask, e.multiplyStats(), nil
+}
+
+// DotProduct mirrors Engine.DotProduct: per element, one multiply plus
+// one merge add, with the running sum wrapping at the accumulator
+// width exactly as the CLA does.
+func (e *FastEngine) DotProduct(neurons, synapses []uint64) (uint64, Stats, error) {
+	if len(neurons) != len(synapses) {
+		return 0, Stats{}, fmt.Errorf("bitserial: vector lengths differ (%d vs %d)", len(neurons), len(synapses))
+	}
+	for i := range neurons {
+		if err := e.checkOperand("neuron", neurons[i]); err != nil {
+			return 0, Stats{}, err
+		}
+		if err := e.checkOperand("synapse", synapses[i]); err != nil {
+			return 0, Stats{}, err
+		}
+	}
+	var acc uint64
+	for i := range neurons {
+		acc = (acc + neurons[i]*synapses[i]) & e.accMask
+	}
+	n := len(neurons)
+	st := e.multiplyStats()
+	st.Adds++ // the per-element merge into the running sum
+	return acc, Stats{
+		Cycles:  n * st.Cycles,
+		BitANDs: n * st.BitANDs,
+		Adds:    n * st.Adds,
+		Shifts:  n * st.Shifts,
+	}, nil
+}
+
+// Window mirrors Engine.Window: per filter, the lane dot products are
+// merged with one extra add each, and the cycle count collapses to
+// elements * bits because lanes and filters run in parallel.
+func (e *FastEngine) Window(inputs [][]uint64, synapses [][][]uint64) ([]uint64, Stats, error) {
+	var st Stats
+	out := make([]uint64, len(synapses))
+	for k, filter := range synapses {
+		if len(filter) != len(inputs) {
+			return nil, Stats{}, fmt.Errorf("bitserial: filter %d has %d lanes, inputs have %d", k, len(filter), len(inputs))
+		}
+		var acc uint64
+		for lane := range filter {
+			v, vs, err := e.DotProduct(inputs[lane], filter[lane])
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("bitserial: filter %d lane %d: %w", k, lane, err)
+			}
+			acc = (acc + v) & e.accMask
+			vs.Adds++
+			st.add(vs)
+		}
+		out[k] = acc
+	}
+	if len(synapses) > 0 && len(inputs) > 0 {
+		st.Cycles = len(inputs[0]) * e.bits
+	}
+	return out, st, nil
+}

@@ -1,0 +1,273 @@
+package qnn
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"pixel/internal/bitserial"
+	"pixel/internal/tensor"
+)
+
+// fastDotter adapts the word-level Stripes engine; it is stateless and
+// safe for any worker count.
+type fastDotter struct{ e *bitserial.FastEngine }
+
+func (f fastDotter) DotProduct(a, b []uint64) (uint64, error) {
+	v, _, err := f.e.DotProduct(a, b)
+	return v, err
+}
+
+// TestConvParallelMatchesReference is the randomized property test of
+// the issue: over random shapes, strides, paddings and worker counts,
+// the parallel im2col conv layer must be bit-identical to the seed
+// serial tensor.Conv2DReference. Run it under -race to also prove the
+// pool writes disjoint output slots.
+func TestConvParallelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 120; trial++ {
+		h := 3 + rng.Intn(10)
+		w := 3 + rng.Intn(10)
+		c := 1 + rng.Intn(3)
+		r := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(4)
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		workers := 1 + rng.Intn(8)
+		if h+2*pad < r || w+2*pad < r {
+			continue
+		}
+		in := tensor.New(h, w, c)
+		for i := range in.Data {
+			in.Data[i] = rng.Int63n(16)
+		}
+		k := tensor.NewKernel(m, r, c)
+		for i := range k.Data {
+			k.Data[i] = rng.Int63n(16)
+		}
+		want, err := tensor.Conv2DReference(in, k, stride, pad)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		conv := &Conv{Label: "c", Kernel: k, Stride: stride, Pad: pad}
+		got, err := conv.applyCtx(context.Background(), in, ReferenceDotter{}, workers)
+		if err != nil {
+			t.Fatalf("trial %d (h%d w%d c%d r%d m%d s%d p%d wk%d): %v", trial, h, w, c, r, m, stride, pad, workers, err)
+		}
+		if got.H != want.H || got.W != want.W || got.C != want.C {
+			t.Fatalf("trial %d: shape %dx%dx%d, want %dx%dx%d", trial, got.H, got.W, got.C, want.H, want.W, want.C)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d (h%d w%d c%d r%d m%d s%d p%d wk%d): out[%d] = %d, want %d",
+					trial, h, w, c, r, m, stride, pad, workers, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestConvPadMatchesTensorConv checks the new Pad field end to end
+// against tensor.Conv2D's padded output.
+func TestConvPadMatchesTensorConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	in := tensor.New(5, 5, 2)
+	for i := range in.Data {
+		in.Data[i] = rng.Int63n(8)
+	}
+	k := tensor.NewKernel(3, 3, 2)
+	for i := range k.Data {
+		k.Data[i] = rng.Int63n(8)
+	}
+	want, err := tensor.Conv2D(in, k, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := &Conv{Label: "padded", Kernel: k, Stride: 1, Pad: 1}
+	got, err := conv.Apply(in, ReferenceDotter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.H != 5 || got.W != 5 || got.C != 3 {
+		t.Fatalf("padded shape %dx%dx%d, want 5x5x3 (same-conv)", got.H, got.W, got.C)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got.Data[i], want.Data[i])
+		}
+	}
+	bad := &Conv{Label: "bad", Kernel: k, Stride: 1, Pad: -1}
+	if _, err := bad.Apply(in, ReferenceDotter{}); err == nil {
+		t.Error("negative pad should error")
+	}
+}
+
+// lenetModel is a padded LeNet-shaped model exercising conv, pad,
+// pool, requant, flatten and fc together.
+func lenetModel(rng *rand.Rand) (*Model, *tensor.Tensor) {
+	maxV := int64(15)
+	k1 := tensor.NewKernel(6, 5, 1)
+	for i := range k1.Data {
+		k1.Data[i] = rng.Int63n(maxV + 1)
+	}
+	k2 := tensor.NewKernel(16, 5, 6)
+	for i := range k2.Data {
+		k2.Data[i] = rng.Int63n(maxV + 1)
+	}
+	fc1 := make([]int64, 4*4*16*40)
+	for i := range fc1 {
+		fc1[i] = rng.Int63n(maxV + 1)
+	}
+	fc2 := make([]int64, 40*10)
+	for i := range fc2 {
+		fc2[i] = rng.Int63n(maxV + 1)
+	}
+	m := &Model{
+		Label:          "lenet-20",
+		ActivationBits: 4,
+		Layers: []Layer{
+			&Conv{Label: "conv1", Kernel: k1, Stride: 1, Pad: 2}, // 20x20x1 -> 20x20x6
+			&Requant{Label: "rq1", Shift: 8, Max: maxV},
+			&MaxPool{Label: "pool1", Window: 2}, // -> 10x10x6
+			&Conv{Label: "conv2", Kernel: k2, Stride: 1, Pad: 1}, // -> 8x8x16
+			&Requant{Label: "rq2", Shift: 10, Max: maxV},
+			&MaxPool{Label: "pool2", Window: 2}, // -> 4x4x16
+			&Flatten{Label: "flat"},
+			&FullyConnected{Label: "fc1", Weights: fc1, Out: 40},
+			&Requant{Label: "rq3", Shift: 10, Max: maxV},
+			&FullyConnected{Label: "fc2", Weights: fc2, Out: 10},
+		},
+	}
+	in := tensor.New(20, 20, 1)
+	for i := range in.Data {
+		in.Data[i] = rng.Int63n(maxV + 1)
+	}
+	return m, in
+}
+
+// TestLeNetGolden proves the whole pipeline bit-identical across the
+// serial reference, the parallel reference, the fast word-level
+// Stripes engine (parallel) and the gate-model Stripes oracle
+// (serial) — the paper's correctness claim, end to end.
+func TestLeNetGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m, in := lenetModel(rng)
+
+	ref, err := m.Run(in, ReferenceDotter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, err := m.RunContext(context.Background(), in, ReferenceDotter{}, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastEng, err := bitserial.NewFastEngine(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.RunContext(context.Background(), in, fastDotter{fastEng}, RunOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateEng, err := bitserial.NewEngine(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate, err := m.Run(in, stripesDotter{gateEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range ref.Data {
+		if par.Data[i] != ref.Data[i] {
+			t.Fatalf("parallel ref out[%d] = %d, want %d", i, par.Data[i], ref.Data[i])
+		}
+		if fast.Data[i] != ref.Data[i] {
+			t.Fatalf("fast stripes out[%d] = %d, want %d", i, fast.Data[i], ref.Data[i])
+		}
+		if gate.Data[i] != ref.Data[i] {
+			t.Fatalf("gate stripes out[%d] = %d, want %d", i, gate.Data[i], ref.Data[i])
+		}
+	}
+}
+
+// TestRunContextCancellation checks a cancelled context aborts the
+// pipeline promptly with the context's error.
+func TestRunContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m, in := lenetModel(rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunContext(ctx, in, ReferenceDotter{}, RunOptions{Workers: 4}); err == nil {
+		t.Error("cancelled context should abort the run")
+	}
+}
+
+// TestFullyConnectedParallelMatchesSerial pins FC's pool to its serial
+// output.
+func TestFullyConnectedParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n, outDim := 37, 23
+	ws := make([]int64, n*outDim)
+	for i := range ws {
+		ws[i] = rng.Int63n(16)
+	}
+	in := tensor.New(1, 1, n)
+	for i := range in.Data {
+		in.Data[i] = rng.Int63n(16)
+	}
+	fc := &FullyConnected{Label: "fc", Weights: ws, Out: outDim}
+	want, err := fc.Apply(in, ReferenceDotter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		got, err := fc.applyCtx(context.Background(), in, ReferenceDotter{}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestBatchDotterFallback checks that a Dotter without a batched entry
+// point goes through the per-window adapter and still matches.
+func TestBatchDotterFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	in := tensor.New(6, 6, 2)
+	for i := range in.Data {
+		in.Data[i] = rng.Int63n(16)
+	}
+	k := tensor.NewKernel(3, 3, 2)
+	for i := range k.Data {
+		k.Data[i] = rng.Int63n(16)
+	}
+	conv := &Conv{Label: "c", Kernel: k, Stride: 1}
+	want, err := conv.Apply(in, ReferenceDotter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := bitserial.NewFastEngine(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fastDotter implements only Dotter, so this exercises dotBatch's
+	// fallback loop.
+	var d Dotter = fastDotter{eng}
+	if _, ok := d.(BatchDotter); ok {
+		t.Fatal("fastDotter unexpectedly implements BatchDotter; test needs a plain Dotter")
+	}
+	got, err := conv.Apply(in, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got.Data[i], want.Data[i])
+		}
+	}
+}

@@ -6,9 +6,17 @@
 // can execute on the electrical Stripes engine, the hybrid OE unit or
 // the all-optical OO unit, and the outputs can be compared bit for bit
 // against the plain-integer reference.
+//
+// The MAC layers run as a lowered pipeline: conv inputs become im2col
+// patch matrices (tensor.Lower), filter weights are packed once per
+// layer, and each output row is one batched dot-product call
+// (BatchDotter), optionally fanned across a worker pool via
+// RunContext. Every path is bit-identical to the serial per-position
+// reference; see docs/INFERENCE.md.
 package qnn
 
 import (
+	"context"
 	"fmt"
 
 	"pixel/internal/tensor"
@@ -61,15 +69,51 @@ func (m *Model) MaxActivation() int64 {
 	return int64(1)<<uint(m.ActivationBits) - 1
 }
 
-// Run executes the model on the input through the given Dotter.
+// RunOptions tunes one RunContext call.
+type RunOptions struct {
+	// Workers is the worker-pool width the MAC layers fan their output
+	// rows (conv) and output neurons (fully-connected) across; <= 0
+	// means GOMAXPROCS, 1 is serial. Workers > 1 requires a Dotter
+	// that is safe for concurrent use (ReferenceDotter and the
+	// word-level bitserial.FastEngine are; the optical units metering
+	// a shared optsim.Ledger are not). Output placement is
+	// deterministic, so any worker count produces bit-identical
+	// results.
+	Workers int
+}
+
+// ctxLayer is the optional layer interface the parallel pipeline uses:
+// layers that can fan work across a pool implement it, and plain
+// layers keep the serial Apply path.
+type ctxLayer interface {
+	applyCtx(ctx context.Context, in *tensor.Tensor, d Dotter, workers int) (*tensor.Tensor, error)
+}
+
+// Run executes the model on the input through the given Dotter,
+// serially — safe for any Dotter. Use RunContext to run the MAC layers
+// across a worker pool.
 func (m *Model) Run(in *tensor.Tensor, d Dotter) (*tensor.Tensor, error) {
+	return m.RunContext(context.Background(), in, d, RunOptions{Workers: 1})
+}
+
+// RunContext executes the model with cancellation and a configurable
+// worker pool. Results are bit-identical to Run for every worker
+// count.
+func (m *Model) RunContext(ctx context.Context, in *tensor.Tensor, d Dotter, opts RunOptions) (*tensor.Tensor, error) {
 	if m.ActivationBits < 1 || m.ActivationBits > 16 {
 		return nil, fmt.Errorf("qnn: activation bits %d out of range [1,16]", m.ActivationBits)
 	}
 	x := in
 	var err error
 	for _, l := range m.Layers {
-		x, err = l.Apply(x, d)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cl, ok := l.(ctxLayer); ok {
+			x, err = cl.applyCtx(ctx, x, d, opts.Workers)
+		} else {
+			x, err = l.Apply(x, d)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("qnn: %s: layer %s: %w", m.Label, l.Name(), err)
 		}
@@ -82,14 +126,27 @@ type Conv struct {
 	Label  string
 	Kernel *tensor.Kernel
 	Stride int
+	// Pad is the zero padding on every side, wired through the im2col
+	// lowering (parity with tensor.Conv2D); padded positions
+	// contribute zero activations.
+	Pad int
 }
 
 // Name implements Layer.
 func (c *Conv) Name() string { return c.Label }
 
-// Apply implements Layer: every output element is one dot product
-// through the Dotter.
+// Apply implements Layer, serially. The input is lowered to an im2col
+// patch matrix once, each filter's weights are packed once per layer
+// (instead of once per output position), and every output row is one
+// batched dot-product call.
 func (c *Conv) Apply(in *tensor.Tensor, d Dotter) (*tensor.Tensor, error) {
+	return c.applyCtx(context.Background(), in, d, 1)
+}
+
+// applyCtx implements ctxLayer: output rows fan across the worker
+// pool, with each worker writing disjoint rows of the output tensor so
+// the result is bit-identical to the serial pass.
+func (c *Conv) applyCtx(ctx context.Context, in *tensor.Tensor, d Dotter, workers int) (*tensor.Tensor, error) {
 	k := c.Kernel
 	if in.C != k.C {
 		return nil, fmt.Errorf("qnn: input channels %d != kernel channels %d", in.C, k.C)
@@ -97,51 +154,69 @@ func (c *Conv) Apply(in *tensor.Tensor, d Dotter) (*tensor.Tensor, error) {
 	if c.Stride < 1 {
 		return nil, fmt.Errorf("qnn: stride %d", c.Stride)
 	}
-	eh := (in.H-k.R)/c.Stride + 1
-	ew := (in.W-k.R)/c.Stride + 1
-	if eh < 1 || ew < 1 {
-		return nil, fmt.Errorf("qnn: kernel %d too large for %dx%d input", k.R, in.H, in.W)
+	if c.Pad < 0 {
+		return nil, fmt.Errorf("qnn: pad %d", c.Pad)
 	}
-	out := tensor.New(eh, ew, k.M)
-	n := k.R * k.R * k.C
-	window := make([]uint64, n)
-	weights := make([]uint64, n)
-	for oy := 0; oy < eh; oy++ {
-		for ox := 0; ox < ew; ox++ {
-			i := 0
-			for ky := 0; ky < k.R; ky++ {
-				for kx := 0; kx < k.R; kx++ {
-					for ch := 0; ch < in.C; ch++ {
-						v := in.At(oy*c.Stride+ky, ox*c.Stride+kx, ch)
-						if v < 0 {
-							return nil, fmt.Errorf("qnn: negative activation %d at (%d,%d,%d)", v, oy, ox, ch)
-						}
-						window[i] = uint64(v)
-						i++
-					}
-				}
+	eh := (in.H+2*c.Pad-k.R)/c.Stride + 1
+	ew := (in.W+2*c.Pad-k.R)/c.Stride + 1
+	if eh < 1 || ew < 1 {
+		return nil, fmt.Errorf("qnn: kernel %d too large for %dx%d input with pad %d", k.R, in.H, in.W, c.Pad)
+	}
+	for i, v := range in.Data {
+		if v < 0 {
+			return nil, fmt.Errorf("qnn: negative activation %d at (%d,%d,%d)",
+				v, i/(in.W*in.C), (i/in.C)%in.W, i%in.C)
+		}
+	}
+
+	p, err := tensor.Lower(in, k.R, c.Stride, c.Pad)
+	if err != nil {
+		return nil, fmt.Errorf("qnn: %s: %w", c.Label, err)
+	}
+	// One backing allocation for every window; activations were
+	// validated non-negative above and padding contributes zeros.
+	wbuf := make([]uint64, p.Rows*p.Cols)
+	windows := make([][]uint64, p.Rows)
+	for i := range windows {
+		dst := wbuf[i*p.Cols : (i+1)*p.Cols : (i+1)*p.Cols]
+		for j, v := range p.Row(i) {
+			dst[j] = uint64(v)
+		}
+		windows[i] = dst
+	}
+	// Prefetch every filter's weights once for the whole layer.
+	packed := make([]uint64, k.M*p.Cols)
+	filters := make([][]uint64, k.M)
+	for m := range filters {
+		dst := packed[m*p.Cols : (m+1)*p.Cols : (m+1)*p.Cols]
+		for j, w := range k.Filter(m) {
+			if w < 0 {
+				return nil, fmt.Errorf("qnn: negative weight %d in %s", w, c.Label)
 			}
-			for mIdx := 0; mIdx < k.M; mIdx++ {
-				i = 0
-				for ky := 0; ky < k.R; ky++ {
-					for kx := 0; kx < k.R; kx++ {
-						for ch := 0; ch < in.C; ch++ {
-							w := k.At(mIdx, ky, kx, ch)
-							if w < 0 {
-								return nil, fmt.Errorf("qnn: negative weight %d in %s", w, c.Label)
-							}
-							weights[i] = uint64(w)
-							i++
-						}
-					}
-				}
-				acc, err := d.DotProduct(window, weights)
-				if err != nil {
-					return nil, err
-				}
-				out.Set(oy, ox, mIdx, int64(acc))
+			dst[j] = uint64(w)
+		}
+		filters[m] = dst
+	}
+
+	out := tensor.New(p.EH, p.EW, k.M)
+	workers = clampWorkers(workers, p.EH)
+	scratch := make([]uint64, workers*p.EW)
+	err = parallelFor(ctx, p.EH, workers, func(worker, oy int) error {
+		rowOut := scratch[worker*p.EW : (worker+1)*p.EW]
+		rowWins := windows[oy*p.EW : (oy+1)*p.EW]
+		for m := 0; m < k.M; m++ {
+			if err := dotBatch(d, rowWins, filters[m], rowOut); err != nil {
+				return err
+			}
+			base := oy * p.EW * k.M
+			for ox := 0; ox < p.EW; ox++ {
+				out.Data[base+ox*k.M+m] = int64(rowOut[ox])
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -170,9 +245,19 @@ type FullyConnected struct {
 // Name implements Layer.
 func (f *FullyConnected) Name() string { return f.Label }
 
-// Apply implements Layer.
+// Apply implements Layer, serially.
 func (f *FullyConnected) Apply(in *tensor.Tensor, d Dotter) (*tensor.Tensor, error) {
+	return f.applyCtx(context.Background(), in, d, 1)
+}
+
+// applyCtx implements ctxLayer: the whole weight matrix is packed once
+// up front and output neurons fan across the worker pool, each writing
+// its own slot.
+func (f *FullyConnected) applyCtx(ctx context.Context, in *tensor.Tensor, d Dotter, workers int) (*tensor.Tensor, error) {
 	n := in.Len()
+	if f.Out < 1 {
+		return nil, fmt.Errorf("qnn: output size %d", f.Out)
+	}
 	if len(f.Weights) != n*f.Out {
 		return nil, fmt.Errorf("qnn: weight matrix %d != %d x %d", len(f.Weights), f.Out, n)
 	}
@@ -183,21 +268,24 @@ func (f *FullyConnected) Apply(in *tensor.Tensor, d Dotter) (*tensor.Tensor, err
 		}
 		xs[i] = uint64(v)
 	}
-	ws := make([]uint64, n)
+	ws := make([]uint64, n*f.Out)
+	for i, w := range f.Weights {
+		if w < 0 {
+			return nil, fmt.Errorf("qnn: negative weight %d in %s", w, f.Label)
+		}
+		ws[i] = uint64(w)
+	}
 	out := tensor.New(1, 1, f.Out)
-	for o := 0; o < f.Out; o++ {
-		for i := 0; i < n; i++ {
-			w := f.Weights[o*n+i]
-			if w < 0 {
-				return nil, fmt.Errorf("qnn: negative weight %d in %s", w, f.Label)
-			}
-			ws[i] = uint64(w)
-		}
-		acc, err := d.DotProduct(xs, ws)
+	err := parallelFor(ctx, f.Out, workers, func(_, o int) error {
+		acc, err := d.DotProduct(xs, ws[o*n:(o+1)*n:(o+1)*n])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Set(0, 0, o, int64(acc))
+		out.Data[o] = int64(acc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

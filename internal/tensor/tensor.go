@@ -83,9 +83,47 @@ func (k *Kernel) Set(m, ky, kx, c int, v int64) {
 	k.Data[((m*k.R+ky)*k.R+kx)*k.C+c] = v
 }
 
+// Filter returns filter m's weights as a flat slice in (ky, kx, c)
+// order — the same order a PatchMatrix row presents the window values,
+// so out[m] of a convolution is the plain dot product of the two.
+// The slice aliases the kernel's backing store.
+func (k *Kernel) Filter(m int) []int64 {
+	n := k.R * k.R * k.C
+	return k.Data[m*n : (m+1)*n : (m+1)*n]
+}
+
 // Conv2D computes a standard 2-D convolution with the given stride and
 // zero padding, returning an ExMxE output (E per the usual formula).
+// The input is lowered to an im2col patch matrix once and every filter
+// reduces to dense dot products over its rows; the result is
+// bit-identical to Conv2DReference.
 func Conv2D(in *Tensor, k *Kernel, stride, pad int) (*Tensor, error) {
+	if in.C != k.C {
+		return nil, fmt.Errorf("tensor: input channels %d != kernel channels %d", in.C, k.C)
+	}
+	p, err := Lower(in, k.R, stride, pad)
+	if err != nil {
+		return nil, err
+	}
+	out := New(p.EH, p.EW, k.M)
+	for m := 0; m < k.M; m++ {
+		w := k.Filter(m)
+		for i := 0; i < p.Rows; i++ {
+			row := p.Row(i)
+			var acc int64
+			for j, v := range row {
+				acc += v * w[j]
+			}
+			out.Data[i*k.M+m] = acc
+		}
+	}
+	return out, nil
+}
+
+// Conv2DReference is the direct 6-deep loop convolution the lowered
+// Conv2D replaced, kept as the oracle the im2col path (and the
+// parallel qnn conv layer built on it) is property-tested against.
+func Conv2DReference(in *Tensor, k *Kernel, stride, pad int) (*Tensor, error) {
 	if in.C != k.C {
 		return nil, fmt.Errorf("tensor: input channels %d != kernel channels %d", in.C, k.C)
 	}
