@@ -1,8 +1,9 @@
 // Command pixeld serves the PIXEL evaluation API over HTTP: single
-// design-point pricing, grid sweeps and tile-grid scheduling, backed
-// by the concurrent memoizing sweep engine with request coalescing,
-// admission control and Prometheus metrics (see internal/server and
-// docs/SERVER.md).
+// design-point pricing, grid sweeps, tile-grid scheduling and
+// Monte-Carlo variation-to-yield sweeps (POST /v1/robustness, capped
+// at -max-trials trials per request), backed by the concurrent
+// memoizing sweep engine with request coalescing, admission control
+// and Prometheus metrics (see internal/server and docs/SERVER.md).
 //
 // Usage:
 //
@@ -44,14 +45,21 @@ func run(args []string, stdout *os.File) error {
 	requestTimeout := fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request evaluation deadline")
 	cacheSize := fs.Int("cache-size", 0, "result-LRU capacity in entries (0 = engine default)")
 	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	maxTrials := fs.Int("max-trials", server.DefaultMaxTrials, "max Monte-Carlo trials per /v1/robustness request")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	mcWorkers := *workers
 	srv := server.New(server.Config{
-		Engine:         pixel.NewEngine(pixel.EngineOptions{Workers: *workers, CacheSize: *cacheSize}),
+		Engine: pixel.NewEngine(pixel.EngineOptions{Workers: *workers, CacheSize: *cacheSize}),
+		Robust: server.RobustnessFunc(func(ctx context.Context, spec pixel.RobustnessSpec) (pixel.RobustnessReport, error) {
+			spec.Workers = mcWorkers
+			return pixel.RobustnessContext(ctx, spec)
+		}),
+		MaxTrials:      *maxTrials,
 		MaxInFlight:    *maxInFlight,
 		QueueTimeout:   *queueTimeout,
 		RequestTimeout: *requestTimeout,

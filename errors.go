@@ -22,4 +22,8 @@ var (
 	// ErrBadGrid: a tile-grid shape is unusable (non-positive extents
 	// or an over-budget wavelength plan).
 	ErrBadGrid = errors.New("pixel: bad grid")
+	// ErrBadSpec: a request spec (e.g. a Monte-Carlo robustness sweep)
+	// is malformed — non-positive trials, an empty or negative σ axis,
+	// an out-of-range error budget, or a non-physical variation model.
+	ErrBadSpec = errors.New("pixel: bad spec")
 )

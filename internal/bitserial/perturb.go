@@ -1,0 +1,259 @@
+package bitserial
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FlipRates is the per-bit error injection a PerturbedEngine applies:
+// the probability that any given bit of a multiply's product word flips
+// (Mul), and the probability that any given bit of the running
+// accumulator flips after a merge add (Acc). The rates encode *where*
+// each PIXEL design is exposed to device variation: the electrical EE
+// design is immune (both zero), the hybrid OE design multiplies
+// optically but accumulates electrically (Mul only), and the
+// all-optical OO design is exposed on both (Mul and Acc). The mapping
+// from physical perturbations to these rates lives in
+// internal/montecarlo.
+type FlipRates struct {
+	// Mul is the per-bit flip probability applied to each multiply's
+	// product word (the low 2*Bits() bits).
+	Mul float64
+	// Acc is the per-bit flip probability applied to the full
+	// accumulator word after each merge add.
+	Acc float64
+}
+
+// Validate reports an error for rates outside [0, 1].
+func (r FlipRates) Validate() error {
+	if r.Mul < 0 || r.Mul > 1 || math.IsNaN(r.Mul) {
+		return fmt.Errorf("bitserial: multiply flip rate %v out of [0,1]", r.Mul)
+	}
+	if r.Acc < 0 || r.Acc > 1 || math.IsNaN(r.Acc) {
+		return fmt.Errorf("bitserial: accumulate flip rate %v out of [0,1]", r.Acc)
+	}
+	return nil
+}
+
+// Zero reports whether no injection happens at these rates.
+func (r FlipRates) Zero() bool { return r.Mul <= 0 && r.Acc <= 0 }
+
+// flipStream injects bit flips into a stream of words at a fixed
+// per-bit probability, using geometric gap sampling: instead of one
+// uniform draw per bit (ruinous for whole-CNN trials), it draws the
+// gap to the next flip, G ~ Geometric(p), and skips that many clean
+// bits in O(1). One uniform is consumed per *flip*, so the draw at
+// position k is the same for every rate — which makes the number of
+// flips within a fixed-length stream monotone non-decreasing in p for
+// a fixed seed. The Monte-Carlo engine leans on that coupling: a
+// higher-σ trial sharing a trial seed injects a superset count of
+// errors, so yield curves degrade monotonically rather than jitter
+// with resampling noise.
+type flipStream struct {
+	p   float64
+	rng *rand.Rand
+	// countdown is the number of clean bits remaining before the next
+	// scheduled flip.
+	countdown uint64
+	flips     int64
+	bits      int64
+}
+
+// maxGap bounds a sampled gap so float rounding at tiny p cannot
+// overflow the countdown arithmetic; 1<<60 bits is ~10^9 LeNet
+// inferences, far beyond any run length.
+const maxGap = uint64(1) << 60
+
+func newFlipStream(p float64, rng *rand.Rand) *flipStream {
+	s := &flipStream{p: p, rng: rng}
+	if p > 0 {
+		s.countdown = s.gap()
+	}
+	return s
+}
+
+// gap draws the number of clean bits before the next flip.
+func (s *flipStream) gap() uint64 {
+	if s.p >= 1 {
+		return 0
+	}
+	// 1-Float64() is in (0, 1], keeping the log finite.
+	g := math.Floor(math.Log(1-s.rng.Float64()) / math.Log1p(-s.p))
+	if !(g >= 0) || g > float64(maxGap) {
+		return maxGap
+	}
+	return uint64(g)
+}
+
+// apply advances the stream over the low `width` bits of v, flipping
+// the scheduled ones. A zero-rate stream is a no-op and consumes no
+// randomness, so a PerturbedEngine with zero rates is bit-identical to
+// the unperturbed engine without touching its RNGs.
+func (s *flipStream) apply(v uint64, width int) uint64 {
+	if s.p <= 0 {
+		return v
+	}
+	s.bits += int64(width)
+	w := uint64(width)
+	for s.countdown < w {
+		v ^= uint64(1) << s.countdown
+		s.flips++
+		gap := s.gap()
+		if gap >= maxGap-s.countdown {
+			s.countdown = maxGap
+			break
+		}
+		s.countdown += 1 + gap
+	}
+	s.countdown -= w
+	return v
+}
+
+// PerturbedEngine is a FastEngine that injects seeded bit errors into
+// the bit-serial datapath: multiply product bits flip at rates.Mul and
+// the running accumulator flips at rates.Acc after each merge, while
+// Stats stay the closed-form work counts of the unperturbed design
+// (variation corrupts values, not the cycle count). With both rates
+// zero it is bit-identical to FastEngine — pinned by
+// TestPerturbedZeroRatesDegeneracy and, end to end, by the Monte-Carlo
+// σ=0 golden test.
+//
+// A PerturbedEngine consumes its rand streams in datapath order, so it
+// is NOT safe for concurrent use; the Monte-Carlo engine runs one
+// engine per trial, serially within the trial, and parallelizes across
+// trials.
+type PerturbedEngine struct {
+	base      *FastEngine
+	rates     FlipRates
+	mul       *flipStream
+	acc       *flipStream
+	prodWidth int
+}
+
+var _ Stripes = (*PerturbedEngine)(nil)
+
+// NewPerturbedEngine returns a fault-injecting engine with the same
+// operand and accumulator geometry as NewFastEngine(bits, terms). A
+// rand stream is required for each non-zero rate (mulRng for Mul,
+// accRng for Acc); unused streams may be nil.
+func NewPerturbedEngine(bits, terms int, rates FlipRates, mulRng, accRng *rand.Rand) (*PerturbedEngine, error) {
+	if err := rates.Validate(); err != nil {
+		return nil, err
+	}
+	if rates.Mul > 0 && mulRng == nil {
+		return nil, fmt.Errorf("bitserial: multiply flip rate %v needs a rand stream", rates.Mul)
+	}
+	if rates.Acc > 0 && accRng == nil {
+		return nil, fmt.Errorf("bitserial: accumulate flip rate %v needs a rand stream", rates.Acc)
+	}
+	base, err := NewFastEngine(bits, terms)
+	if err != nil {
+		return nil, err
+	}
+	return &PerturbedEngine{
+		base:      base,
+		rates:     rates,
+		mul:       newFlipStream(rates.Mul, mulRng),
+		acc:       newFlipStream(rates.Acc, accRng),
+		prodWidth: 2 * bits,
+	}, nil
+}
+
+// Bits returns the operand precision.
+func (e *PerturbedEngine) Bits() int { return e.base.bits }
+
+// AccumulatorWidth returns the accumulator width in bits.
+func (e *PerturbedEngine) AccumulatorWidth() int { return e.base.accWidth }
+
+// Rates returns the engine's injection rates.
+func (e *PerturbedEngine) Rates() FlipRates { return e.rates }
+
+// InjectedFlips returns the total number of bits flipped so far.
+func (e *PerturbedEngine) InjectedFlips() int64 { return e.mul.flips + e.acc.flips }
+
+// BitsExposed returns how many bits have passed through active
+// (non-zero-rate) injection streams — the denominator of the injected
+// bit-error rate.
+func (e *PerturbedEngine) BitsExposed() int64 { return e.mul.bits + e.acc.bits }
+
+// InjectedBER returns the realized injected bit-error rate, 0 when no
+// stream is active.
+func (e *PerturbedEngine) InjectedBER() float64 {
+	exposed := e.BitsExposed()
+	if exposed == 0 {
+		return 0
+	}
+	return float64(e.InjectedFlips()) / float64(exposed)
+}
+
+// Multiply computes neuron*synapse and flips product bits at the Mul
+// rate. A product of two Bits()-wide operands spans at most 2*Bits()
+// bits, and flips are confined to that window, so a corrupted product
+// still fits the accumulator.
+func (e *PerturbedEngine) Multiply(neuron, synapse uint64) (uint64, Stats, error) {
+	v, st, err := e.base.Multiply(neuron, synapse)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return e.mul.apply(v, e.prodWidth) & e.base.accMask, st, nil
+}
+
+// DotProduct mirrors FastEngine.DotProduct with injection: each
+// element's product is corrupted at the Mul rate before the merge, and
+// the running accumulator is corrupted at the Acc rate after it.
+func (e *PerturbedEngine) DotProduct(neurons, synapses []uint64) (uint64, Stats, error) {
+	if len(neurons) != len(synapses) {
+		return 0, Stats{}, fmt.Errorf("bitserial: vector lengths differ (%d vs %d)", len(neurons), len(synapses))
+	}
+	for i := range neurons {
+		if err := e.base.checkOperand("neuron", neurons[i]); err != nil {
+			return 0, Stats{}, err
+		}
+		if err := e.base.checkOperand("synapse", synapses[i]); err != nil {
+			return 0, Stats{}, err
+		}
+	}
+	var acc uint64
+	for i := range neurons {
+		p := e.mul.apply(neurons[i]*synapses[i]&e.base.accMask, e.prodWidth)
+		acc = (acc + p) & e.base.accMask
+		acc = e.acc.apply(acc, e.base.accWidth)
+	}
+	n := len(neurons)
+	st := e.base.multiplyStats()
+	st.Adds++
+	return acc, Stats{
+		Cycles:  n * st.Cycles,
+		BitANDs: n * st.BitANDs,
+		Adds:    n * st.Adds,
+		Shifts:  n * st.Shifts,
+	}, nil
+}
+
+// Window mirrors FastEngine.Window through the perturbed datapath; the
+// cross-filter merge is electrical in every design and stays clean.
+func (e *PerturbedEngine) Window(inputs [][]uint64, synapses [][][]uint64) ([]uint64, Stats, error) {
+	var st Stats
+	out := make([]uint64, len(synapses))
+	for k, filter := range synapses {
+		if len(filter) != len(inputs) {
+			return nil, Stats{}, fmt.Errorf("bitserial: filter %d has %d lanes, inputs have %d", k, len(filter), len(inputs))
+		}
+		var acc uint64
+		for lane := range filter {
+			v, vs, err := e.DotProduct(inputs[lane], filter[lane])
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("bitserial: filter %d lane %d: %w", k, lane, err)
+			}
+			acc = (acc + v) & e.base.accMask
+			vs.Adds++
+			st.add(vs)
+		}
+		out[k] = acc
+	}
+	if len(synapses) > 0 && len(inputs) > 0 {
+		st.Cycles = len(inputs[0]) * e.base.bits
+	}
+	return out, st, nil
+}

@@ -1,0 +1,178 @@
+package bitserial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPerturbedZeroRatesDegeneracy: with both rates zero the perturbed
+// engine must return the identical (value, Stats) as FastEngine for
+// every operation — the σ=0 degeneracy the Monte-Carlo engine builds
+// on. The property runs without rand streams at all, proving the
+// zero-rate path consumes no randomness.
+func TestPerturbedZeroRatesDegeneracy(t *testing.T) {
+	const bits, terms = 6, 64
+	fast, err := NewFastEngine(bits, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := NewPerturbedEngine(bits, terms, FlipRates{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1)<<bits - 1
+
+	f := func(a, b uint64, vec [8][2]uint64) bool {
+		av, as, aerr := fast.Multiply(a&mask, b&mask)
+		bv, bs, berr := pert.Multiply(a&mask, b&mask)
+		if av != bv || as != bs || (aerr == nil) != (berr == nil) {
+			return false
+		}
+		ns := make([]uint64, len(vec))
+		ss := make([]uint64, len(vec))
+		for i, p := range vec {
+			ns[i], ss[i] = p[0]&mask, p[1]&mask
+		}
+		dv, ds, derr := fast.DotProduct(ns, ss)
+		pv, ps, perr := pert.DotProduct(ns, ss)
+		return dv == pv && ds == ps && (derr == nil) == (perr == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if pert.InjectedFlips() != 0 || pert.BitsExposed() != 0 {
+		t.Errorf("zero-rate engine recorded flips=%d bits=%d", pert.InjectedFlips(), pert.BitsExposed())
+	}
+}
+
+// TestPerturbedWindowZeroRates pins the Window path too.
+func TestPerturbedWindowZeroRates(t *testing.T) {
+	fast, _ := NewFastEngine(4, 32)
+	pert, _ := NewPerturbedEngine(4, 32, FlipRates{}, nil, nil)
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([][]uint64, 3)
+	syn := make([][][]uint64, 2)
+	for l := range inputs {
+		inputs[l] = []uint64{uint64(rng.Intn(16)), uint64(rng.Intn(16)), uint64(rng.Intn(16))}
+	}
+	for k := range syn {
+		syn[k] = make([][]uint64, 3)
+		for l := range syn[k] {
+			syn[k][l] = []uint64{uint64(rng.Intn(16)), uint64(rng.Intn(16)), uint64(rng.Intn(16))}
+		}
+	}
+	want, ws, err := fast.Window(inputs, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gs, err := pert.Window(inputs, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != gs {
+		t.Errorf("stats %+v, want %+v", gs, ws)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPerturbedInjectsAtRateOne: p=1 flips every product bit, so a
+// multiply of 0*0 (product 0) must come back with all 2*bits low bits
+// set.
+func TestPerturbedInjectsAtRateOne(t *testing.T) {
+	pert, err := NewPerturbedEngine(4, 4, FlipRates{Mul: 1}, rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := pert.Multiply(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1)<<8 - 1; v != want {
+		t.Errorf("all-flip product = %#x, want %#x", v, want)
+	}
+	if pert.InjectedFlips() != 8 || pert.BitsExposed() != 8 {
+		t.Errorf("flips=%d bits=%d, want 8/8", pert.InjectedFlips(), pert.BitsExposed())
+	}
+}
+
+// TestFlipCountMonotoneInRate is the coupling property the yield
+// curves lean on: for a fixed seed, running the same workload at a
+// higher flip rate injects at least as many errors. The gap sampler
+// consumes exactly one uniform per flip, so the k-th flip's draw is
+// shared across rates and flip positions can only move earlier as p
+// grows.
+func TestFlipCountMonotoneInRate(t *testing.T) {
+	const seed = 99
+	workload := func(p float64) int64 {
+		s := newFlipStream(p, rand.New(rand.NewSource(seed)))
+		for i := 0; i < 5000; i++ {
+			s.apply(0, 16)
+		}
+		return s.flips
+	}
+	rates := []float64{0, 1e-6, 1e-4, 1e-3, 0.01, 0.05, 0.2, 0.5, 0.9, 1}
+	prev := int64(-1)
+	for _, p := range rates {
+		n := workload(p)
+		if n < prev {
+			t.Errorf("flips(%g) = %d < flips(previous rate) = %d: not monotone", p, n, prev)
+		}
+		prev = n
+	}
+	if got := workload(1); got != 5000*16 {
+		t.Errorf("flips(1) = %d, want %d", got, 5000*16)
+	}
+}
+
+// TestFlipStreamRateConverges sanity-checks the geometric sampler's
+// realized rate against its nominal p.
+func TestFlipStreamRateConverges(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1} {
+		s := newFlipStream(p, rand.New(rand.NewSource(3)))
+		for i := 0; i < 200000; i++ {
+			s.apply(0, 8)
+		}
+		got := float64(s.flips) / float64(s.bits)
+		if got < 0.8*p || got > 1.2*p {
+			t.Errorf("realized rate %g for nominal %g", got, p)
+		}
+	}
+}
+
+// TestPerturbedEngineValidation covers the constructor's error paths.
+func TestPerturbedEngineValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewPerturbedEngine(4, 4, FlipRates{Mul: -0.1}, rng, rng); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := NewPerturbedEngine(4, 4, FlipRates{Acc: 1.5}, rng, rng); err == nil {
+		t.Error("rate above 1 should error")
+	}
+	if _, err := NewPerturbedEngine(4, 4, FlipRates{Mul: 0.5}, nil, nil); err == nil {
+		t.Error("non-zero Mul without a stream should error")
+	}
+	if _, err := NewPerturbedEngine(4, 4, FlipRates{Acc: 0.5}, nil, nil); err == nil {
+		t.Error("non-zero Acc without a stream should error")
+	}
+	if _, err := NewPerturbedEngine(0, 4, FlipRates{}, nil, nil); err == nil {
+		t.Error("bad bits should error")
+	}
+	pe, err := NewPerturbedEngine(4, 4, FlipRates{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pe.Multiply(16, 0); err == nil {
+		t.Error("out-of-range operand should error")
+	}
+	if _, _, err := pe.DotProduct([]uint64{1}, []uint64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, err := pe.DotProduct([]uint64{99}, []uint64{1}); err == nil {
+		t.Error("out-of-range vector element should error")
+	}
+}

@@ -6,6 +6,7 @@ package cliutil
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -27,6 +28,61 @@ func ParseInts(s string) ([]int, error) {
 		}
 		if v <= 0 {
 			return nil, fmt.Errorf("%w: value %d in %q must be positive", pixel.ErrBadPrecision, v, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloatAxis parses a numeric axis flag in either of two forms: a
+// comma-separated value list ("0,0.5,1") or a start:step:stop range
+// ("0:0.5:5", both ends inclusive up to float rounding). Values must
+// be non-negative and finite; a range needs a positive step and
+// stop >= start.
+func ParseFloatAxis(s string) ([]float64, error) {
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad range %q: want start:step:stop", s)
+		}
+		var start, step, stop float64
+		for i, dst := range []*float64{&start, &step, &stop} {
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad range %q: %w", s, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("bad range %q: non-finite value", s)
+			}
+			*dst = v
+		}
+		if step <= 0 {
+			return nil, fmt.Errorf("bad range %q: step must be positive", s)
+		}
+		if stop < start || start < 0 {
+			return nil, fmt.Errorf("bad range %q: want 0 <= start <= stop", s)
+		}
+		var out []float64
+		// The epsilon admits a stop that float accumulation lands just
+		// past (0:0.5:5 must include 5).
+		for i := 0; ; i++ {
+			v := start + float64(i)*step
+			if v > stop+step*1e-9 {
+				break
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list %q: %w", s, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("bad float list %q: value %v must be finite and non-negative", s, v)
 		}
 		out = append(out, v)
 	}

@@ -27,6 +27,45 @@ func TestParseInts(t *testing.T) {
 	}
 }
 
+func TestParseFloatAxis(t *testing.T) {
+	got, err := ParseFloatAxis("0:0.5:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ParseFloatAxis(0:0.5:5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("axis[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	got, err = ParseFloatAxis(" 0, 1.5,4 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0, 1.5, 4}) {
+		t.Errorf("comma list = %v", got)
+	}
+
+	// A single-value range is just its start.
+	got, err = ParseFloatAxis("2:1:2")
+	if err != nil || !reflect.DeepEqual(got, []float64{2}) {
+		t.Errorf("degenerate range = %v, %v", got, err)
+	}
+
+	for _, bad := range []string{
+		"0:0.5", "0:0:5", "0:-1:5", "5:1:0", "-1:1:2", "1:1:Inf",
+		"a,b", "-1,2", "NaN",
+	} {
+		if _, err := ParseFloatAxis(bad); err == nil {
+			t.Errorf("ParseFloatAxis(%q) accepted", bad)
+		}
+	}
+}
+
 func TestParseNames(t *testing.T) {
 	got := ParseNames(" AlexNet, ,VGG16 ,")
 	if want := []string{"AlexNet", "VGG16"}; !reflect.DeepEqual(got, want) {

@@ -1,0 +1,224 @@
+// Package montecarlo connects stochastic device variation to
+// end-to-end CNN accuracy: a seeded, parallel Monte-Carlo engine that
+// samples per-trial physical perturbations (MRR resonance offset,
+// ambient-temperature excursion through the thermal tuning loop, MZI
+// split-ratio error, comparator threshold offset), maps them to
+// per-bit error rates for each PIXEL datapath, injects those errors
+// into whole-network bit-serial inference, and aggregates yield curves
+// — the fraction of fabricated-and-deployed parts whose inference
+// error stays within budget as variation grows. See docs/VARIATION.md.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pixel/internal/arch"
+	"pixel/internal/bitserial"
+	"pixel/internal/photonics"
+	"pixel/internal/phy"
+	"pixel/internal/thermal"
+)
+
+// MinFlipProb is the floor under which a computed bit-error
+// probability is treated as exactly zero. The nominal (unperturbed)
+// operating point lands around 1e-21 — far below one error per year of
+// inference — so clamping keeps the σ=0 engine bit-identical to the
+// electrical ground truth instead of "correct with probability
+// 1-1e-21", which is what the paper's functional-correctness claim
+// assumes anyway.
+const MinFlipProb = 1e-15
+
+// VariationModel describes the stochastic device variation of one
+// fabricated-and-deployed part. Each σ is the standard deviation of a
+// per-trial Gaussian draw; Scale multiplies all of them, which is the
+// σ axis of a yield sweep.
+type VariationModel struct {
+	// ResonanceSigma is the per-trial MRR resonance offset σ [m]: the
+	// post-trim fabrication misalignment between a ring and its WDM
+	// channel that the heater bias does not absorb.
+	ResonanceSigma float64
+	// AmbientSigma is the ambient-temperature excursion σ [K] the
+	// thermal tuning loop must ride; the residual after TuningSteps of
+	// closed-loop control (heater saturation included) detunes the
+	// rings.
+	AmbientSigma float64
+	// SplitSigma is the per-stage MZI split-ratio error σ (fraction off
+	// the nominal 50/50) of the OO design's accumulation chain.
+	SplitSigma float64
+	// ThresholdSigma is the comparator threshold offset σ of the
+	// amplitude ladder, as a fraction of one rung.
+	ThresholdSigma float64
+
+	// Ring and BiasKelvin configure the thermal tuning loop: each trial
+	// builds a thermal.Ring with the fabrication bias and runs
+	// TuningSteps control iterations against the sampled ambient
+	// excursion before measuring the residual detuning.
+	Ring        thermal.RingModel
+	BiasKelvin  float64
+	TuningSteps int
+
+	// RingFWHM is the ring drop response's full width at half maximum
+	// [m]; detuning rolls the optical AND's "one" level off this
+	// Lorentzian (squared — the AND filter is a double ring).
+	RingFWHM float64
+	// Receiver converts a degraded "one" power into a bit-error rate.
+	Receiver photonics.ReceiverNoise
+	// OnePower is the nominal received "one" power [W] at the detector.
+	OnePower float64
+	// AccumStages is the depth of the OO accumulation chain (one MZI
+	// stage per operand bit); split error compounds across it.
+	AccumStages int
+}
+
+// DefaultVariationModel returns literature-class variation constants,
+// calibrated so a σ-scale sweep over [0, 5] walks the demo LeNet from
+// full yield to near-total loss (the regime of the paper's Section
+// II-A1 thermal-sensitivity concern).
+func DefaultVariationModel() VariationModel {
+	return VariationModel{
+		ResonanceSigma: 0.04 * phy.Nanometer,
+		AmbientSigma:   2.0,
+		SplitSigma:     0.004,
+		ThresholdSigma: 0.015,
+		Ring:           thermal.DefaultRingModel(),
+		BiasKelvin:     10,
+		TuningSteps:    8,
+		RingFWHM:       0.155 * phy.Nanometer,
+		Receiver:       photonics.DefaultReceiverNoise(),
+		OnePower:       20 * phy.Microwatt,
+		AccumStages:    8,
+	}
+}
+
+// Validate reports an error for non-physical models. It also requires
+// the *nominal* operating point to sit below MinFlipProb, because the
+// σ=0 degeneracy (perturbed engine ≡ electrical ground truth) only
+// holds when the unperturbed link is error-free.
+func (m VariationModel) Validate() error {
+	switch {
+	case m.ResonanceSigma < 0 || m.AmbientSigma < 0 || m.SplitSigma < 0 || m.ThresholdSigma < 0:
+		return fmt.Errorf("montecarlo: variation sigmas must be non-negative")
+	case m.RingFWHM <= 0:
+		return fmt.Errorf("montecarlo: ring FWHM must be positive")
+	case m.OnePower <= 0:
+		return fmt.Errorf("montecarlo: one-level power must be positive")
+	case m.BiasKelvin < 0:
+		return fmt.Errorf("montecarlo: heater bias must be non-negative")
+	case m.TuningSteps < 0:
+		return fmt.Errorf("montecarlo: tuning steps must be non-negative")
+	case m.AccumStages < 1:
+		return fmt.Errorf("montecarlo: accumulation depth must be >= 1")
+	}
+	if err := m.Ring.Validate(); err != nil {
+		return err
+	}
+	if ber := m.Receiver.BER(m.OnePower); ber >= MinFlipProb {
+		return fmt.Errorf("montecarlo: nominal BER %.3g at %s is not error-free (>= %g); raise OnePower",
+			ber, phy.FormatPower(m.OnePower), MinFlipProb)
+	}
+	return nil
+}
+
+// Scale returns the model with every variation σ multiplied by s —
+// the σ axis of a yield sweep. Scale(0) is the σ=0 degenerate model.
+func (m VariationModel) Scale(s float64) VariationModel {
+	m.ResonanceSigma *= s
+	m.AmbientSigma *= s
+	m.SplitSigma *= s
+	m.ThresholdSigma *= s
+	return m
+}
+
+// Perturbation is one trial's sampled physical reality.
+type Perturbation struct {
+	// ResonanceOffset is the ring's resonance misalignment [m].
+	ResonanceOffset float64
+	// AmbientOffset is the ambient-temperature excursion [K].
+	AmbientOffset float64
+	// SplitError is the per-stage MZI split-ratio error (fraction).
+	SplitError float64
+	// ThresholdOffset is the comparator ladder offset (fraction of one
+	// rung).
+	ThresholdOffset float64
+}
+
+// Sample draws one trial's perturbation. It always consumes exactly
+// four normal variates, so trials stay stream-aligned across σ scales:
+// the same trial index draws the same underlying normals at every σ,
+// only scaled — the common-random-numbers coupling that makes yield
+// curves degrade monotonically instead of resampling noise.
+func (m VariationModel) Sample(rng *rand.Rand) Perturbation {
+	return Perturbation{
+		ResonanceOffset: m.ResonanceSigma * rng.NormFloat64(),
+		AmbientOffset:   m.AmbientSigma * rng.NormFloat64(),
+		SplitError:      m.SplitSigma * rng.NormFloat64(),
+		ThresholdOffset: m.ThresholdSigma * rng.NormFloat64(),
+	}
+}
+
+// mulFlipProb maps a perturbation to the per-bit error probability of
+// the optical multiply path: thermal residual plus fabrication offset
+// detune the MRR AND filters, the double-ring Lorentzian rolls the
+// "one" level off, and the receiver turns the degraded eye into a BER.
+func (m VariationModel) mulFlipProb(p Perturbation) float64 {
+	residual := 0.0
+	if m.AmbientSigma > 0 || p.AmbientOffset != 0 {
+		ring, err := thermal.NewRing(m.Ring, m.BiasKelvin)
+		if err == nil {
+			for i := 0; i < m.TuningSteps; i++ {
+				ring.Step(p.AmbientOffset)
+			}
+			residual = math.Abs(ring.Detuning(p.AmbientOffset))
+		}
+	}
+	delta := math.Abs(p.ResonanceOffset) + residual
+	x := 2 * delta / m.RingFWHM
+	t1 := 1 / (1 + x*x) // single-ring Lorentzian power transmission
+	return clampProb(m.Receiver.BER(m.OnePower * t1 * t1))
+}
+
+// accFlipProb maps a perturbation to the per-bit error probability of
+// the optical accumulate path: comparator threshold offset eats eye
+// margin directly, split-ratio error compounds across the MZI chain,
+// and the shrunken amplitude margin (squared — coherent power goes as
+// amplitude²) prices out as a BER.
+func (m VariationModel) accFlipProb(p Perturbation) float64 {
+	margin := 1 - 2*math.Abs(p.ThresholdOffset) - float64(m.AccumStages)*math.Abs(p.SplitError)
+	if margin <= 0 {
+		return clampProb(m.Receiver.BER(0))
+	}
+	return clampProb(m.Receiver.BER(m.OnePower * margin * margin))
+}
+
+// clampProb floors negligible probabilities to exactly zero and caps
+// at 0.5 (a channel noisier than that carries no information anyway).
+func clampProb(p float64) float64 {
+	if math.IsNaN(p) || p < MinFlipProb {
+		return 0
+	}
+	if p > 0.5 {
+		return 0.5
+	}
+	return p
+}
+
+// Rates maps one trial's perturbation to the bit-flip rates of the
+// given design — where each datapath is physically exposed, per the
+// paper's Figure 2: EE is all-electrical and immune; OE multiplies
+// optically (MRR AND + OOK detection) but accumulates electrically;
+// OO is exposed on both the multiply and the MZI/amplitude-ladder
+// accumulate.
+func (m VariationModel) Rates(p Perturbation, d arch.Design) (bitserial.FlipRates, error) {
+	switch d {
+	case arch.EE:
+		return bitserial.FlipRates{}, nil
+	case arch.OE:
+		return bitserial.FlipRates{Mul: m.mulFlipProb(p)}, nil
+	case arch.OO:
+		return bitserial.FlipRates{Mul: m.mulFlipProb(p), Acc: m.accFlipProb(p)}, nil
+	default:
+		return bitserial.FlipRates{}, fmt.Errorf("montecarlo: unknown design %d", int(d))
+	}
+}

@@ -1,0 +1,170 @@
+package montecarlo
+
+import (
+	"math/rand"
+	"testing"
+
+	"pixel/internal/arch"
+	"pixel/internal/phy"
+)
+
+func TestDefaultModelValidates(t *testing.T) {
+	if err := DefaultVariationModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*VariationModel)
+	}{
+		{"negative sigma", func(m *VariationModel) { m.SplitSigma = -1 }},
+		{"zero fwhm", func(m *VariationModel) { m.RingFWHM = 0 }},
+		{"zero power", func(m *VariationModel) { m.OnePower = 0 }},
+		{"negative bias", func(m *VariationModel) { m.BiasKelvin = -1 }},
+		{"negative steps", func(m *VariationModel) { m.TuningSteps = -1 }},
+		{"zero stages", func(m *VariationModel) { m.AccumStages = 0 }},
+		{"noisy nominal", func(m *VariationModel) { m.OnePower = 1 * phy.Nanowatt }},
+	}
+	for _, tc := range cases {
+		m := DefaultVariationModel()
+		tc.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+// TestScaleZeroSamplesZero: the σ=0 model must sample the all-zero
+// perturbation (and still consume its four normals, keeping streams
+// aligned across scales).
+func TestScaleZeroSamplesZero(t *testing.T) {
+	m := DefaultVariationModel().Scale(0)
+	rng := rand.New(rand.NewSource(1))
+	p := m.Sample(rng)
+	if p != (Perturbation{}) {
+		t.Fatalf("σ=0 sample = %+v, want zero", p)
+	}
+	// Four normals consumed: a fresh stream is now 4 draws ahead.
+	ref := rand.New(rand.NewSource(1))
+	for i := 0; i < 4; i++ {
+		ref.NormFloat64()
+	}
+	if a, b := rng.NormFloat64(), ref.NormFloat64(); a != b {
+		t.Fatalf("stream misaligned after Sample: next draw %v, want %v", a, b)
+	}
+}
+
+// TestSampleScalesLinearly pins the common-random-numbers coupling:
+// the same trial stream at a doubled scale draws exactly the doubled
+// perturbation.
+func TestSampleScalesLinearly(t *testing.T) {
+	m := DefaultVariationModel()
+	p1 := m.Sample(rand.New(rand.NewSource(42)))
+	p2 := m.Scale(2).Sample(rand.New(rand.NewSource(42)))
+	if p2.ResonanceOffset != 2*p1.ResonanceOffset || p2.AmbientOffset != 2*p1.AmbientOffset ||
+		p2.SplitError != 2*p1.SplitError || p2.ThresholdOffset != 2*p1.ThresholdOffset {
+		t.Fatalf("Scale(2) sample %+v is not 2x %+v", p2, p1)
+	}
+}
+
+// TestRatesPerDesign: EE is immune, OE is exposed on multiply only, OO
+// on both — the paper's Figure 2 exposure map.
+func TestRatesPerDesign(t *testing.T) {
+	m := DefaultVariationModel()
+	// A gross perturbation every exposed path notices.
+	p := Perturbation{
+		ResonanceOffset: 0.3 * phy.Nanometer,
+		AmbientOffset:   15,
+		SplitError:      0.05,
+		ThresholdOffset: 0.3,
+	}
+	ee, err := m.Rates(p, arch.EE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ee.Zero() {
+		t.Errorf("EE rates %+v, want zero (immune)", ee)
+	}
+	oe, err := m.Rates(p, arch.OE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oe.Mul <= 0 || oe.Acc != 0 {
+		t.Errorf("OE rates %+v, want Mul > 0 and Acc == 0", oe)
+	}
+	oo, err := m.Rates(p, arch.OO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oo.Mul != oe.Mul {
+		t.Errorf("OO Mul %v != OE Mul %v for the same perturbation", oo.Mul, oe.Mul)
+	}
+	if oo.Acc <= 0 {
+		t.Errorf("OO Acc %v, want > 0", oo.Acc)
+	}
+	if _, err := m.Rates(p, arch.Design(99)); err == nil {
+		t.Error("unknown design should error")
+	}
+}
+
+// TestZeroPerturbationIsClean: the unperturbed part maps to exactly
+// zero rates on every design (the MinFlipProb floor at work).
+func TestZeroPerturbationIsClean(t *testing.T) {
+	m := DefaultVariationModel()
+	for _, d := range arch.Designs() {
+		r, err := m.Rates(Perturbation{}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Zero() {
+			t.Errorf("%s: zero perturbation rates %+v, want zero", d, r)
+		}
+	}
+}
+
+// TestMulFlipProbMonotoneInOffset: more resonance misalignment can
+// only worsen the multiply path.
+func TestMulFlipProbMonotoneInOffset(t *testing.T) {
+	m := DefaultVariationModel()
+	prev := -1.0
+	for _, nm := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.5, 1} {
+		p := m.mulFlipProb(Perturbation{ResonanceOffset: nm * phy.Nanometer})
+		if p < prev {
+			t.Errorf("mulFlipProb(%g nm) = %g < previous %g", nm, p, prev)
+		}
+		prev = p
+	}
+	if prev <= 0 || prev > 0.5 {
+		t.Errorf("worst-case mul prob %g out of (0, 0.5]", prev)
+	}
+}
+
+// TestAccFlipProbMonotoneInThreshold mirrors the accumulate path.
+func TestAccFlipProbMonotoneInThreshold(t *testing.T) {
+	m := DefaultVariationModel()
+	prev := -1.0
+	for _, th := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 1} {
+		p := m.accFlipProb(Perturbation{ThresholdOffset: th})
+		if p < prev {
+			t.Errorf("accFlipProb(threshold %g) = %g < previous %g", th, p, prev)
+		}
+		prev = p
+	}
+	if prev != 0.5 {
+		t.Errorf("collapsed-margin acc prob %g, want the 0.5 cap", prev)
+	}
+}
+
+// TestThermalResidualRaisesMulProb: a large ambient excursion the
+// tuning loop cannot fully absorb must cost multiply margin even with
+// perfect resonance trim.
+func TestThermalResidualRaisesMulProb(t *testing.T) {
+	m := DefaultVariationModel()
+	calm := m.mulFlipProb(Perturbation{})
+	hot := m.mulFlipProb(Perturbation{AmbientOffset: 60})
+	if hot <= calm {
+		t.Errorf("mul prob calm=%g hot=%g; ambient excursion should cost margin", calm, hot)
+	}
+}

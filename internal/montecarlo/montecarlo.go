@@ -1,0 +1,380 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pixel/internal/arch"
+	"pixel/internal/bitserial"
+	"pixel/internal/qnn"
+	"pixel/internal/tensor"
+)
+
+// Spec configures one Monte-Carlo yield run: N independent virtual
+// parts are fabricated per σ scale, each samples a Perturbation, maps
+// it to the design's bit-flip rates, and runs the whole network
+// through a fault-injecting bit-serial engine.
+type Spec struct {
+	// Model and Input are the network and stimulus; the unperturbed
+	// FastEngine run of the pair is the trial-pass baseline.
+	Model *qnn.Model
+	Input *tensor.Tensor
+	// Design selects the exposed datapaths (EE immune, OE multiply
+	// only, OO multiply and accumulate).
+	Design arch.Design
+	// Bits and Terms size the bit-serial engines, as in
+	// bitserial.NewFastEngine.
+	Bits  int
+	Terms int
+	// Variation is the base (σ-scale 1) device variation model.
+	Variation VariationModel
+	// Sigmas is the σ-scale axis of the yield curve; each entry
+	// multiplies every variation σ.
+	Sigmas []float64
+	// Trials is the number of virtual parts per σ point.
+	Trials int
+	// Seed is the root seed; trial t derives its perturbation and
+	// injection streams from (Seed, t) alone, independent of σ index
+	// and worker schedule, so runs are bit-identical at any Workers.
+	Seed int64
+	// Workers sizes the trial-level pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// ErrorBudget is the largest tolerated fraction of output elements
+	// differing from the baseline for a trial to count as yielding;
+	// 0 demands bit-exact inference.
+	ErrorBudget float64
+}
+
+// Validate reports an error for an unrunnable spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.Model == nil || s.Input == nil:
+		return errors.New("montecarlo: spec needs a model and an input")
+	case s.Trials < 1:
+		return fmt.Errorf("montecarlo: trials %d < 1", s.Trials)
+	case len(s.Sigmas) == 0:
+		return errors.New("montecarlo: empty sigma axis")
+	case s.ErrorBudget < 0 || s.ErrorBudget > 1:
+		return fmt.Errorf("montecarlo: error budget %v out of [0,1]", s.ErrorBudget)
+	}
+	for _, sc := range s.Sigmas {
+		if sc < 0 {
+			return fmt.Errorf("montecarlo: negative sigma scale %v", sc)
+		}
+	}
+	switch s.Design {
+	case arch.EE, arch.OE, arch.OO:
+	default:
+		return fmt.Errorf("montecarlo: unknown design %d", int(s.Design))
+	}
+	if err := s.Variation.Validate(); err != nil {
+		return err
+	}
+	// Engine geometry is validated once here rather than per trial.
+	if _, err := bitserial.NewFastEngine(s.Bits, s.Terms); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SigmaPoint is the aggregate of all trials at one σ scale.
+type SigmaPoint struct {
+	// Sigma is the σ scale of this point.
+	Sigma float64 `json:"sigma"`
+	// Yield is the fraction of trials whose output mismatch stayed
+	// within the error budget.
+	Yield float64 `json:"yield"`
+	// ArgmaxRate is the fraction of trials whose output argmax (the
+	// classification) matched the baseline.
+	ArgmaxRate float64 `json:"argmax_rate"`
+	// MeanMismatch, P50Mismatch, P95Mismatch and MaxMismatch summarize
+	// the distribution of per-trial output-mismatch fractions.
+	MeanMismatch float64 `json:"mean_mismatch"`
+	P50Mismatch  float64 `json:"p50_mismatch"`
+	P95Mismatch  float64 `json:"p95_mismatch"`
+	MaxMismatch  float64 `json:"max_mismatch"`
+	// MeanInjectedBER is the realized injected bit-error rate averaged
+	// over trials.
+	MeanInjectedBER float64 `json:"mean_injected_ber"`
+	// CleanTrials counts trials whose sampled perturbation mapped to
+	// exactly zero flip rates (no exposure at all).
+	CleanTrials int `json:"clean_trials"`
+}
+
+// Report is the result of one Monte-Carlo run.
+type Report struct {
+	// Design, Bits, Trials, Seed and ErrorBudget echo the spec.
+	Design      string  `json:"design"`
+	Bits        int     `json:"bits"`
+	Trials      int     `json:"trials"`
+	Seed        int64   `json:"seed"`
+	ErrorBudget float64 `json:"error_budget"`
+	// Baseline is the unperturbed network output.
+	Baseline []int64 `json:"baseline"`
+	// Points is the yield curve, one entry per σ scale in spec order.
+	Points []SigmaPoint `json:"points"`
+}
+
+// MinYield returns the smallest yield on the curve — the bottom of the
+// degradation, usually the largest σ.
+func (r *Report) MinYield() float64 {
+	min := 1.0
+	for _, p := range r.Points {
+		if p.Yield < min {
+			min = p.Yield
+		}
+	}
+	return min
+}
+
+// stripesDotter adapts a Stripes engine into a qnn.Dotter, dropping
+// the Stats (yield analysis cares about values, not work counts). It
+// deliberately does NOT implement qnn.BatchDotter: the perturbed
+// engine is stateful, and the per-window fallback keeps every dot
+// product flowing through one serial, deterministic call sequence.
+type stripesDotter struct{ e bitserial.Stripes }
+
+func (s stripesDotter) DotProduct(a, b []uint64) (uint64, error) {
+	v, _, err := s.e.DotProduct(a, b)
+	return v, err
+}
+
+// splitmix64 is the SplitMix64 finalizer — a bijective avalanche mix
+// used to derive independent per-trial seeds from (root, trial,
+// stream) without any stream sharing prefixes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream indices of a trial's three independent rand streams.
+const (
+	streamPerturb = iota
+	streamMul
+	streamAcc
+	streamCount
+)
+
+// trialSeed derives the seed of stream `stream` for trial `trial`
+// from the root seed. σ scale is deliberately absent: the same trial
+// draws the same underlying randomness at every σ, the
+// common-random-numbers coupling behind monotone yield curves.
+func trialSeed(root int64, trial, stream int) int64 {
+	return int64(splitmix64(splitmix64(uint64(root)) + uint64(trial)*streamCount + uint64(stream)))
+}
+
+// trialResult is one virtual part's outcome.
+type trialResult struct {
+	mismatch    float64
+	argmaxOK    bool
+	injectedBER float64
+	clean       bool
+}
+
+// Run executes the Monte-Carlo sweep: the baseline inference once,
+// then Trials×len(Sigmas) perturbed inferences across a worker pool.
+// Each trial builds its own PerturbedEngine (stateful, serial within
+// the trial) and the flattened (σ, trial) jobs land in fixed slots, so
+// the report is bit-identical for any Workers value.
+func Run(ctx context.Context, spec Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fast, err := bitserial.NewFastEngine(spec.Bits, spec.Terms)
+	if err != nil {
+		return nil, err
+	}
+	base, err := spec.Model.RunContext(ctx, spec.Input, stripesDotter{fast}, qnn.RunOptions{Workers: spec.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("montecarlo: baseline inference: %w", err)
+	}
+	baseline := append([]int64(nil), base.Data...)
+	baseArgmax := argmax(baseline)
+
+	nSigma := len(spec.Sigmas)
+	jobs := nSigma * spec.Trials
+	results := make([]trialResult, jobs)
+	workers := spec.Workers
+	if workers <= 0 || workers > jobs {
+		workers = clampWorkers(workers, jobs)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, jobs)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1))
+				if j >= jobs {
+					return
+				}
+				if err := runCtx.Err(); err != nil {
+					errs[j] = err
+					return
+				}
+				sigmaIdx, trial := j/spec.Trials, j%spec.Trials
+				res, err := runTrial(runCtx, spec, spec.Sigmas[sigmaIdx], trial, baseline, baseArgmax)
+				if err != nil {
+					errs[j] = err
+					cancel()
+					return
+				}
+				results[j] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
+
+	rep := &Report{
+		Design:      spec.Design.String(),
+		Bits:        spec.Bits,
+		Trials:      spec.Trials,
+		Seed:        spec.Seed,
+		ErrorBudget: spec.ErrorBudget,
+		Baseline:    baseline,
+		Points:      make([]SigmaPoint, nSigma),
+	}
+	for i := range rep.Points {
+		rep.Points[i] = aggregate(spec.Sigmas[i], results[i*spec.Trials:(i+1)*spec.Trials], spec.ErrorBudget)
+	}
+	return rep, nil
+}
+
+// runTrial fabricates one virtual part at one σ scale and measures its
+// inference against the baseline.
+func runTrial(ctx context.Context, spec Spec, sigma float64, trial int, baseline []int64, baseArgmax int) (trialResult, error) {
+	model := spec.Variation.Scale(sigma)
+	pertRng := rand.New(rand.NewSource(trialSeed(spec.Seed, trial, streamPerturb)))
+	pert := model.Sample(pertRng)
+	rates, err := model.Rates(pert, spec.Design)
+	if err != nil {
+		return trialResult{}, err
+	}
+	if rates.Zero() {
+		// No exposed datapath flips a bit, so the inference is
+		// bit-identical to the baseline (the σ=0 degeneracy pinned by
+		// the engine- and model-level tests) — skip the redundant run.
+		return trialResult{argmaxOK: true, clean: true}, nil
+	}
+	eng, err := bitserial.NewPerturbedEngine(spec.Bits, spec.Terms, rates,
+		rand.New(rand.NewSource(trialSeed(spec.Seed, trial, streamMul))),
+		rand.New(rand.NewSource(trialSeed(spec.Seed, trial, streamAcc))))
+	if err != nil {
+		return trialResult{}, err
+	}
+	// The engine consumes its streams in datapath order, so the trial
+	// itself must run serially; parallelism lives at the trial level.
+	out, err := spec.Model.RunContext(ctx, spec.Input, stripesDotter{eng}, qnn.RunOptions{Workers: 1})
+	if err != nil {
+		return trialResult{}, fmt.Errorf("montecarlo: trial %d at sigma %v: %w", trial, sigma, err)
+	}
+	mismatched := 0
+	for i, v := range out.Data {
+		if v != baseline[i] {
+			mismatched++
+		}
+	}
+	return trialResult{
+		mismatch:    float64(mismatched) / float64(len(baseline)),
+		argmaxOK:    argmax(out.Data) == baseArgmax,
+		injectedBER: eng.InjectedBER(),
+	}, nil
+}
+
+// aggregate folds one σ point's trials into curve statistics.
+func aggregate(sigma float64, trials []trialResult, budget float64) SigmaPoint {
+	p := SigmaPoint{Sigma: sigma}
+	mismatches := make([]float64, len(trials))
+	for i, t := range trials {
+		mismatches[i] = t.mismatch
+		if t.mismatch <= budget {
+			p.Yield++
+		}
+		if t.argmaxOK {
+			p.ArgmaxRate++
+		}
+		if t.clean {
+			p.CleanTrials++
+		}
+		p.MeanMismatch += t.mismatch
+		p.MeanInjectedBER += t.injectedBER
+		if t.mismatch > p.MaxMismatch {
+			p.MaxMismatch = t.mismatch
+		}
+	}
+	n := float64(len(trials))
+	p.Yield /= n
+	p.ArgmaxRate /= n
+	p.MeanMismatch /= n
+	p.MeanInjectedBER /= n
+	sort.Float64s(mismatches)
+	p.P50Mismatch = percentile(mismatches, 0.50)
+	p.P95Mismatch = percentile(mismatches, 0.95)
+	return p
+}
+
+// percentile reads the q-quantile from sorted data (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// argmax returns the index of the largest element (first on ties).
+func argmax(xs []int64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// clampWorkers mirrors the qnn/sweep idiom locally.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -1,0 +1,63 @@
+package qnn
+
+import (
+	"math/rand"
+
+	"pixel/internal/tensor"
+)
+
+// DemoLeNet builds the padded LeNet-5-shaped quantized model (with a
+// matching 20x20 input) that anchors the repo's end-to-end correctness
+// claims: the four-path golden test (serial reference, parallel
+// reference, fast Stripes, gate-model Stripes) runs it, and the
+// Monte-Carlo variation engine perturbs it. Weights and input are
+// drawn from rng, so a fixed seed names a fixed network; activations
+// are 4-bit and no dot product exceeds DemoLeNetTerms elements.
+func DemoLeNet(rng *rand.Rand) (*Model, *tensor.Tensor) {
+	maxV := int64(15)
+	k1 := tensor.NewKernel(6, 5, 1)
+	for i := range k1.Data {
+		k1.Data[i] = rng.Int63n(maxV + 1)
+	}
+	k2 := tensor.NewKernel(16, 5, 6)
+	for i := range k2.Data {
+		k2.Data[i] = rng.Int63n(maxV + 1)
+	}
+	fc1 := make([]int64, 4*4*16*40)
+	for i := range fc1 {
+		fc1[i] = rng.Int63n(maxV + 1)
+	}
+	fc2 := make([]int64, 40*10)
+	for i := range fc2 {
+		fc2[i] = rng.Int63n(maxV + 1)
+	}
+	m := &Model{
+		Label:          "lenet-20",
+		ActivationBits: 4,
+		Layers: []Layer{
+			&Conv{Label: "conv1", Kernel: k1, Stride: 1, Pad: 2}, // 20x20x1 -> 20x20x6
+			&Requant{Label: "rq1", Shift: 8, Max: maxV},
+			&MaxPool{Label: "pool1", Window: 2},                  // -> 10x10x6
+			&Conv{Label: "conv2", Kernel: k2, Stride: 1, Pad: 1}, // -> 8x8x16
+			&Requant{Label: "rq2", Shift: 10, Max: maxV},
+			&MaxPool{Label: "pool2", Window: 2}, // -> 4x4x16
+			&Flatten{Label: "flat"},
+			&FullyConnected{Label: "fc1", Weights: fc1, Out: 40},
+			&Requant{Label: "rq3", Shift: 10, Max: maxV},
+			&FullyConnected{Label: "fc2", Weights: fc2, Out: 10},
+		},
+	}
+	in := tensor.New(20, 20, 1)
+	for i := range in.Data {
+		in.Data[i] = rng.Int63n(maxV + 1)
+	}
+	return m, in
+}
+
+// DemoLeNetBits is DemoLeNet's operand precision: activations and
+// weights both fit 4 bits.
+const DemoLeNetBits = 4
+
+// DemoLeNetTerms bounds the longest dot product in DemoLeNet (fc1's
+// 256-element rows), for sizing bit-serial accumulators.
+const DemoLeNetTerms = 512

@@ -101,47 +101,10 @@ func TestConvPadMatchesTensorConv(t *testing.T) {
 	}
 }
 
-// lenetModel is a padded LeNet-shaped model exercising conv, pad,
-// pool, requant, flatten and fc together.
+// lenetModel is the shared demo LeNet (see demo.go); the golden test
+// and the Monte-Carlo σ=0 degeneracy test perturb the same network.
 func lenetModel(rng *rand.Rand) (*Model, *tensor.Tensor) {
-	maxV := int64(15)
-	k1 := tensor.NewKernel(6, 5, 1)
-	for i := range k1.Data {
-		k1.Data[i] = rng.Int63n(maxV + 1)
-	}
-	k2 := tensor.NewKernel(16, 5, 6)
-	for i := range k2.Data {
-		k2.Data[i] = rng.Int63n(maxV + 1)
-	}
-	fc1 := make([]int64, 4*4*16*40)
-	for i := range fc1 {
-		fc1[i] = rng.Int63n(maxV + 1)
-	}
-	fc2 := make([]int64, 40*10)
-	for i := range fc2 {
-		fc2[i] = rng.Int63n(maxV + 1)
-	}
-	m := &Model{
-		Label:          "lenet-20",
-		ActivationBits: 4,
-		Layers: []Layer{
-			&Conv{Label: "conv1", Kernel: k1, Stride: 1, Pad: 2}, // 20x20x1 -> 20x20x6
-			&Requant{Label: "rq1", Shift: 8, Max: maxV},
-			&MaxPool{Label: "pool1", Window: 2}, // -> 10x10x6
-			&Conv{Label: "conv2", Kernel: k2, Stride: 1, Pad: 1}, // -> 8x8x16
-			&Requant{Label: "rq2", Shift: 10, Max: maxV},
-			&MaxPool{Label: "pool2", Window: 2}, // -> 4x4x16
-			&Flatten{Label: "flat"},
-			&FullyConnected{Label: "fc1", Weights: fc1, Out: 40},
-			&Requant{Label: "rq3", Shift: 10, Max: maxV},
-			&FullyConnected{Label: "fc2", Weights: fc2, Out: 10},
-		},
-	}
-	in := tensor.New(20, 20, 1)
-	for i := range in.Data {
-		in.Data[i] = rng.Int63n(maxV + 1)
-	}
-	return m, in
+	return DemoLeNet(rng)
 }
 
 // TestLeNetGolden proves the whole pipeline bit-identical across the

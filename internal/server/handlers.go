@@ -59,7 +59,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, pixel.ErrUnknownDesign),
 		errors.Is(err, pixel.ErrBadPrecision),
-		errors.Is(err, pixel.ErrBadGrid):
+		errors.Is(err, pixel.ErrBadGrid),
+		errors.Is(err, pixel.ErrBadSpec):
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout

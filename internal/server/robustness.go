@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"pixel"
+)
+
+// maxSigmaPoints bounds the σ axis of one robustness request; together
+// with the trial cap it bounds the total inference count a single
+// caller can queue.
+const maxSigmaPoints = 256
+
+// robustnessRequest is the POST /v1/robustness body. Workers is
+// deliberately absent from the wire format: pool sizing is the
+// server's resource decision, and the engine's report is bit-identical
+// at any width anyway.
+type robustnessRequest struct {
+	Network     string    `json:"network"`
+	Design      string    `json:"design"`
+	Sigmas      []float64 `json:"sigmas"`
+	Trials      int       `json:"trials"`
+	Seed        int64     `json:"seed"`
+	ErrorBudget float64   `json:"error_budget"`
+}
+
+func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
+	if s.robust == nil {
+		s.writeError(w, &httpError{
+			status: http.StatusNotImplemented,
+			msg:    "robustness sweeps are not enabled on this server",
+		})
+		return
+	}
+	var req robustnessRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	d, err := pixel.ParseDesign(req.Design)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Trials > s.maxTrials {
+		s.writeError(w, badRequestf("trials %d exceeds the %d-trial limit", req.Trials, s.maxTrials))
+		return
+	}
+	if len(req.Sigmas) > maxSigmaPoints {
+		s.writeError(w, badRequestf("sigma axis of %d points exceeds the %d-point limit", len(req.Sigmas), maxSigmaPoints))
+		return
+	}
+	spec := pixel.RobustnessSpec{
+		Network:     req.Network,
+		Design:      d,
+		Sigmas:      req.Sigmas,
+		Trials:      req.Trials,
+		Seed:        req.Seed,
+		ErrorBudget: req.ErrorBudget,
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+	defer cancel()
+
+	// The report is a pure function of the spec (Workers excluded), so
+	// identical concurrent requests can share one engine run.
+	key := fmt.Sprintf("%s|%s|%v|%d|%d|%v", req.Network, d, req.Sigmas, req.Trials, req.Seed, req.ErrorBudget)
+	rep, shared, err := s.robustFlights.Do(ctx, key, func(ctx context.Context) (pixel.RobustnessReport, error) {
+		if err := s.limiter.acquire(ctx); err != nil {
+			return pixel.RobustnessReport{}, err
+		}
+		defer s.limiter.release()
+		return s.robust.RobustnessContext(ctx, spec)
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

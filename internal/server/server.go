@@ -9,13 +9,14 @@
 //
 // Routes:
 //
-//	POST /v1/evaluate   price one (network, design, lanes, bits) point
-//	POST /v1/sweep      evaluate a grid across one or more networks
-//	POST /v1/map        schedule a network onto a tile grid
-//	GET  /v1/networks   the CNN zoo
-//	GET  /v1/designs    the MAC designs
-//	GET  /healthz       liveness
-//	GET  /metrics       Prometheus text exposition
+//	POST /v1/evaluate    price one (network, design, lanes, bits) point
+//	POST /v1/sweep       evaluate a grid across one or more networks
+//	POST /v1/map         schedule a network onto a tile grid
+//	POST /v1/robustness  Monte-Carlo variation-to-yield sweep
+//	GET  /v1/networks    the CNN zoo
+//	GET  /v1/designs     the MAC designs
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text exposition
 package server
 
 import (
@@ -39,11 +40,34 @@ type Evaluator interface {
 	CacheHits() int64
 }
 
+// RobustnessEvaluator is the optional engine surface behind
+// POST /v1/robustness: a Monte-Carlo variation-to-yield sweep.
+// pixel.RobustnessContext (wrapped in RobustnessFunc) implements it;
+// tests substitute controllable fakes. A server without one answers
+// the route with 501.
+type RobustnessEvaluator interface {
+	RobustnessContext(ctx context.Context, spec pixel.RobustnessSpec) (pixel.RobustnessReport, error)
+}
+
+// RobustnessFunc adapts a plain function to RobustnessEvaluator.
+type RobustnessFunc func(ctx context.Context, spec pixel.RobustnessSpec) (pixel.RobustnessReport, error)
+
+// RobustnessContext implements RobustnessEvaluator.
+func (f RobustnessFunc) RobustnessContext(ctx context.Context, spec pixel.RobustnessSpec) (pixel.RobustnessReport, error) {
+	return f(ctx, spec)
+}
+
 // Config configures a Server. Engine is required; everything else has
 // a serving-sane default.
 type Config struct {
 	// Engine evaluates requests. Required.
 	Engine Evaluator
+	// Robust serves POST /v1/robustness; nil disables the route (501).
+	Robust RobustnessEvaluator
+	// MaxTrials bounds the per-request trial count of a robustness
+	// sweep; <= 0 means DefaultMaxTrials. Requests above it are
+	// rejected with 400 before any work starts.
+	MaxTrials int
 	// MaxInFlight bounds concurrently evaluating requests (after
 	// coalescing — followers of a shared flight do not hold slots);
 	// <= 0 means DefaultMaxInFlight.
@@ -63,20 +87,24 @@ const (
 	DefaultMaxInFlight    = 64
 	DefaultQueueTimeout   = 250 * time.Millisecond
 	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxTrials      = 4096
 )
 
 // Server is the HTTP evaluation service. Construct with New; the zero
 // value is not usable.
 type Server struct {
 	engine         Evaluator
+	robust         RobustnessEvaluator
+	maxTrials      int
 	limiter        *limiter
 	metrics        *metrics
 	logger         *slog.Logger
 	requestTimeout time.Duration
 	retryAfter     time.Duration
 
-	evalFlights  *flightGroup[pixel.Result]
-	sweepFlights *flightGroup[map[string][]pixel.Result]
+	evalFlights   *flightGroup[pixel.Result]
+	sweepFlights  *flightGroup[map[string][]pixel.Result]
+	robustFlights *flightGroup[pixel.RobustnessReport]
 }
 
 // New builds a Server from cfg, applying defaults to unset knobs.
@@ -100,8 +128,14 @@ func New(cfg Config) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	maxTrials := cfg.MaxTrials
+	if maxTrials <= 0 {
+		maxTrials = DefaultMaxTrials
+	}
 	return &Server{
 		engine:         cfg.Engine,
+		robust:         cfg.Robust,
+		maxTrials:      maxTrials,
 		limiter:        newLimiter(maxInFlight, queueTimeout),
 		metrics:        newMetrics(),
 		logger:         logger,
@@ -109,6 +143,7 @@ func New(cfg Config) *Server {
 		retryAfter:     queueTimeout,
 		evalFlights:    newFlightGroup[pixel.Result](),
 		sweepFlights:   newFlightGroup[map[string][]pixel.Result](),
+		robustFlights:  newFlightGroup[pixel.RobustnessReport](),
 	}
 }
 
@@ -123,6 +158,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
 	mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.Handle("POST /v1/map", s.instrument("/v1/map", s.handleMap))
+	mux.Handle("POST /v1/robustness", s.instrument("/v1/robustness", s.handleRobustness))
 	return mux
 }
 

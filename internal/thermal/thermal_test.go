@@ -200,3 +200,99 @@ func TestBankTuningPower(t *testing.T) {
 		t.Errorf("over-hot bank should need zero power, got %v, %v", p3, err)
 	}
 }
+
+// TestZeroDriftAmbientHoldsBiasProperty: with the ambient pinned at
+// nominal (zero offset), the controller is already at its fixed point
+// for ANY valid model and bias — every Step must leave the heater
+// exactly at bias, the residual detuning at zero, and the ring locked.
+// A controller that drifts under zero stimulus would corrupt every
+// Monte-Carlo trial whose sampled excursion is zero.
+func TestZeroDriftAmbientHoldsBiasProperty(t *testing.T) {
+	f := func(rawBias, rawPPK, rawMax uint8) bool {
+		m := DefaultRingModel()
+		m.HeaterPowerPerKelvin = (0.05 + float64(rawPPK)/256) * phy.Milliwatt
+		m.MaxHeaterPower = (1 + float64(rawMax)/8) * phy.Milliwatt
+		bias := float64(rawBias) / 16 // 0..16 K
+		if bias > m.MaxHeaterPower/m.HeaterPowerPerKelvin {
+			return true // bias outside heater authority: not a valid operating point
+		}
+		r, err := NewRing(m, bias)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 32; i++ {
+			if resid := r.Step(0); resid != 0 {
+				return false
+			}
+			if r.HeaterPower() != bias*m.HeaterPowerPerKelvin {
+				return false
+			}
+		}
+		return r.Locked(0) && r.DetuningKelvin(0) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeaterSaturatesAtMaxPowerProperty: when the ambient drops so far
+// that nulling it needs more heat than the heater has, the controller
+// must pin the heater exactly at MaxHeaterPower — never beyond, never
+// oscillating below — and the residual must equal the physics shortfall
+// ambient + maxK - bias. The clamp is what the Monte-Carlo multiply
+// path prices as residual detuning.
+func TestHeaterSaturatesAtMaxPowerProperty(t *testing.T) {
+	f := func(rawCold uint8) bool {
+		m := DefaultRingModel()
+		bias := 10.0
+		maxK := m.MaxHeaterPower / m.HeaterPowerPerKelvin
+		// Ambient far enough below nominal that bias - ambient > maxK.
+		ambient := -(maxK - bias) - 1 - float64(rawCold)/4
+		r, err := NewRing(m, bias)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 64; i++ {
+			r.Step(ambient)
+			if r.HeaterPower() > m.MaxHeaterPower+1e-18 {
+				return false // heater exceeded its physical range
+			}
+		}
+		if math.Abs(r.HeaterPower()-m.MaxHeaterPower) > 1e-12*m.MaxHeaterPower {
+			return false // controller failed to use its full authority
+		}
+		shortfall := ambient + maxK - bias
+		return math.Abs(r.DetuningKelvin(ambient)-shortfall) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeaterFloorsAtZeroProperty is the mirror clamp: a hot excursion
+// beyond the bias can only be corrected down to heater-off; the
+// residual is then ambient - bias exactly.
+func TestHeaterFloorsAtZeroProperty(t *testing.T) {
+	f := func(rawHot uint8) bool {
+		m := DefaultRingModel()
+		bias := 10.0
+		ambient := bias + 1 + float64(rawHot)/4
+		r, err := NewRing(m, bias)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 64; i++ {
+			r.Step(ambient)
+			if r.HeaterPower() < 0 {
+				return false
+			}
+		}
+		if r.HeaterPower() != 0 {
+			return false
+		}
+		return math.Abs(r.DetuningKelvin(ambient)-(ambient-bias)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package pixel
+
+import (
+	"context"
+	"fmt"
+
+	"pixel/internal/montecarlo"
+)
+
+// RobustnessSpec configures a Monte-Carlo variation-to-yield sweep: N
+// virtual parts are fabricated per σ scale, each samples device-level
+// perturbations (MRR resonance offset, ambient excursion through the
+// thermal tuning loop, MZI split error, comparator threshold offset),
+// and runs a full quantized CNN inference through a fault-injecting
+// bit-serial engine. See docs/VARIATION.md.
+type RobustnessSpec struct {
+	// Network names the demo network to perturb (see
+	// RobustnessNetworks; "lenet" is the golden-test LeNet).
+	Network string
+	// Design selects the exposed datapaths: EE is immune, OE exposes
+	// the optical multiply, OO the multiply and the accumulate.
+	Design Design
+	// Sigmas is the σ-scale axis: each value multiplies every device
+	// variation σ of the default model.
+	Sigmas []float64
+	// Trials is the number of virtual parts per σ point.
+	Trials int
+	// Seed is the root seed; the whole run is a pure function of
+	// (spec, Seed) regardless of Workers.
+	Seed int64
+	// Workers sizes the trial-level worker pool; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// ErrorBudget is the tolerated fraction of output elements
+	// differing from the unperturbed baseline for a part to count as
+	// yielding; 0 demands bit-exact inference.
+	ErrorBudget float64
+}
+
+// YieldPoint is the aggregate of all trials at one σ scale.
+type YieldPoint = montecarlo.SigmaPoint
+
+// RobustnessReport is a yield curve with its provenance.
+type RobustnessReport struct {
+	Network string       `json:"network"`
+	Design  string       `json:"design"`
+	Trials  int          `json:"trials"`
+	Seed    int64        `json:"seed"`
+	Budget  float64      `json:"error_budget"`
+	Points  []YieldPoint `json:"points"`
+	// Baseline is the unperturbed inference output the trials are
+	// judged against.
+	Baseline []int64 `json:"baseline"`
+}
+
+// MinYield returns the worst yield across the σ axis (1 for an empty
+// curve).
+func (r RobustnessReport) MinYield() float64 {
+	min := 1.0
+	for _, p := range r.Points {
+		if p.Yield < min {
+			min = p.Yield
+		}
+	}
+	return min
+}
+
+// RobustnessNetworks lists the demo networks a robustness sweep can
+// perturb.
+func RobustnessNetworks() []string { return montecarlo.Networks() }
+
+// Robustness runs a Monte-Carlo variation sweep — the positional
+// context-free form of RobustnessContext.
+func Robustness(spec RobustnessSpec) (RobustnessReport, error) {
+	return RobustnessContext(context.Background(), spec)
+}
+
+// RobustnessContext runs the sweep with cancellation. Spec failures
+// surface ErrUnknownNetwork, ErrUnknownDesign or ErrBadSpec; the
+// report is bit-identical for any Workers value.
+func RobustnessContext(ctx context.Context, spec RobustnessSpec) (RobustnessReport, error) {
+	ad, err := spec.Design.arch()
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	net, err := montecarlo.BuildNetwork(spec.Network)
+	if err != nil {
+		return RobustnessReport{}, fmt.Errorf("%w: %q (have %v)", ErrUnknownNetwork, spec.Network, montecarlo.Networks())
+	}
+	mcSpec := montecarlo.Spec{
+		Model:       net.Model,
+		Input:       net.Input,
+		Design:      ad,
+		Bits:        net.Bits,
+		Terms:       net.Terms,
+		Variation:   montecarlo.DefaultVariationModel(),
+		Sigmas:      spec.Sigmas,
+		Trials:      spec.Trials,
+		Seed:        spec.Seed,
+		Workers:     spec.Workers,
+		ErrorBudget: spec.ErrorBudget,
+	}
+	if err := mcSpec.Validate(); err != nil {
+		return RobustnessReport{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	rep, err := montecarlo.Run(ctx, mcSpec)
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	return RobustnessReport{
+		Network:  spec.Network,
+		Design:   rep.Design,
+		Trials:   rep.Trials,
+		Seed:     rep.Seed,
+		Budget:   rep.ErrorBudget,
+		Points:   rep.Points,
+		Baseline: rep.Baseline,
+	}, nil
+}

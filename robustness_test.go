@@ -1,0 +1,74 @@
+package pixel
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestRobustnessSentinels pins the facade's error contract — the HTTP
+// status mapping in internal/server branches on these.
+func TestRobustnessSentinels(t *testing.T) {
+	good := RobustnessSpec{
+		Network: "tiny",
+		Design:  OO,
+		Sigmas:  []float64{0, 1},
+		Trials:  2,
+		Seed:    1,
+	}
+	cases := []struct {
+		name string
+		mut  func(*RobustnessSpec)
+		want error
+	}{
+		{"unknown network", func(s *RobustnessSpec) { s.Network = "NopeNet" }, ErrUnknownNetwork},
+		{"unknown design", func(s *RobustnessSpec) { s.Design = Design(99) }, ErrUnknownDesign},
+		{"no trials", func(s *RobustnessSpec) { s.Trials = 0 }, ErrBadSpec},
+		{"empty sigmas", func(s *RobustnessSpec) { s.Sigmas = nil }, ErrBadSpec},
+		{"negative sigma", func(s *RobustnessSpec) { s.Sigmas = []float64{-1} }, ErrBadSpec},
+		{"bad budget", func(s *RobustnessSpec) { s.ErrorBudget = 2 }, ErrBadSpec},
+	}
+	for _, tc := range cases {
+		spec := good
+		tc.mut(&spec)
+		if _, err := Robustness(spec); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want errors.Is(%v)", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRobustnessRuns exercises the happy path: a small sweep on the
+// tiny network with full yield at σ=0 and a bit-identical rerun at a
+// different worker count.
+func TestRobustnessRuns(t *testing.T) {
+	spec := RobustnessSpec{
+		Network: "tiny",
+		Design:  OO,
+		Sigmas:  []float64{0, 2},
+		Trials:  8,
+		Seed:    3,
+		Workers: 1,
+	}
+	rep, err := RobustnessContext(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Design != "OO" || rep.Trials != 8 || len(rep.Points) != 2 || len(rep.Baseline) == 0 {
+		t.Fatalf("report shape %+v", rep)
+	}
+	if rep.Points[0].Yield != 1 {
+		t.Errorf("σ=0 yield %g, want 1", rep.Points[0].Yield)
+	}
+	spec.Workers = 4
+	rep2, err := Robustness(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Error("report differs across worker counts")
+	}
+	if len(RobustnessNetworks()) == 0 {
+		t.Error("no robustness networks advertised")
+	}
+}
