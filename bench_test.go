@@ -143,6 +143,43 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// --- Robustness benchmarks: the Monte-Carlo yield sweep with and
+// without fault mitigation. The protected variants run every trial
+// twice (unprotected + protected, common random numbers), so their
+// cost over "nominal" is the price of the paired curve; the scheme
+// overhead factors themselves are recorded in BENCH_robustness.json.
+
+func benchRobustness(b *testing.B, prot *pixel.ProtectionSpec) {
+	b.Helper()
+	spec := pixel.RobustnessSpec{
+		Network:    "lenet",
+		Design:     pixel.OO,
+		Sigmas:     []float64{2},
+		Trials:     4,
+		Seed:       1,
+		Protection: prot,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := pixel.Robustness(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prot != nil && rep.Protection == nil {
+			b.Fatal("protected spec produced no protection report")
+		}
+	}
+}
+
+// BenchmarkRobustness measures the LeNet OO yield sweep (4 trials at
+// σ=2) nominal and under each mitigation scheme.
+func BenchmarkRobustness(b *testing.B) {
+	b.Run("nominal", func(b *testing.B) { benchRobustness(b, nil) })
+	b.Run("tmr", func(b *testing.B) { benchRobustness(b, &pixel.ProtectionSpec{Scheme: "tmr"}) })
+	b.Run("parity", func(b *testing.B) { benchRobustness(b, &pixel.ProtectionSpec{Scheme: "parity"}) })
+	b.Run("guardband", func(b *testing.B) { benchRobustness(b, &pixel.ProtectionSpec{Scheme: "guardband"}) })
+}
+
 // --- Serving benchmarks: the HTTP overhead pixeld layers on top of
 // the engine (routing, JSON, coalescing, admission, metrics).
 

@@ -10,6 +10,12 @@
 //
 //	pixelmc -net lenet -design OO -trials 256 -sigma 0:0.5:5
 //	pixelmc -net tiny -design OE -trials 64 -sigma 0,1,2,4 -budget 0.1 -json
+//	pixelmc -net lenet -design OO -trials 256 -sigma 0:0.5:5 -protect guardband
+//
+// With -protect the same trials re-run through a fault-mitigation
+// scheme (tmr, dmr, nmr:N, parity[:retries], guardband[:interval]) and
+// the paired protected curve prints alongside, with the scheme's
+// energy/latency/area overhead from the arch cost model.
 package main
 
 import (
@@ -39,6 +45,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "root seed (the whole run is a pure function of spec+seed)")
 	workers := fs.Int("workers", 0, "trial worker-pool size (0 = GOMAXPROCS; result is identical at any width)")
 	budget := fs.Float64("budget", 0, "tolerated fraction of mismatched outputs per yielding part (0 = bit-exact)")
+	protectStr := fs.String("protect", "", "protection scheme: tmr, dmr, nmr:N, parity[:retries], guardband[:interval] (empty = none)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +59,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	protection, err := pixel.ParseProtection(*protectStr)
+	if err != nil {
+		return err
+	}
 
 	rep, err := pixel.Robustness(pixel.RobustnessSpec{
 		Network:     *netName,
@@ -61,6 +72,7 @@ func run(args []string) error {
 		Seed:        *seed,
 		Workers:     *workers,
 		ErrorBudget: *budget,
+		Protection:  protection,
 	})
 	if err != nil {
 		return err
@@ -89,5 +101,34 @@ func run(args []string) error {
 		)
 	}
 	tab.AddNote("yield = fraction of parts within budget; Clean = trials whose perturbation mapped to zero flip rates")
-	return tab.Render(os.Stdout)
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if pr := rep.Protection; pr != nil {
+		fmt.Println()
+		ptab := report.New(
+			fmt.Sprintf("protected by %s: energy x%.2f, latency x%.2f, area x%.2f (no free protection)",
+				pr.Scheme, pr.EnergyOverhead, pr.LatencyOverhead, pr.AreaOverhead),
+			"Sigma", "Yield", "Argmax", "MeanMis", "P95Mis", "Retries", "GaveUp", "Clean")
+		for _, p := range pr.Points {
+			ptab.AddRow(
+				report.F(p.Sigma, 2),
+				report.F(p.Yield, 3),
+				report.F(p.ArgmaxRate, 3),
+				report.F(p.MeanMismatch, 4),
+				report.F(p.P95Mismatch, 4),
+				fmt.Sprint(p.Retries),
+				fmt.Sprint(p.GaveUp),
+				fmt.Sprint(p.CleanTrials),
+			)
+		}
+		ptab.AddNote(fmt.Sprintf(
+			"same trials, same fault draws (common random numbers); worst retry factor %.3f folded into the overheads",
+			pr.MaxRetryFactor))
+		if err := ptab.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }

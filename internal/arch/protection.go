@@ -1,0 +1,192 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProtectionOverhead prices a fault-mitigation scheme as a set of
+// multiplicative factors over the unprotected design. Factors are all
+// >= 1 — protection is never free — and each one scales a different
+// physical resource:
+//
+//   - OpticalFactor: extra wavelengths / optical device activity per
+//     operation (e.g. redundant copies on spare wavelengths, a parity
+//     wavelength per word).
+//   - ElectricalFactor: extra electrical logic activity (vote trees,
+//     parity checkers, duplicated accumulators on EE).
+//   - ExecutionFactor: sequential re-executions per protected call —
+//     retries and tie-break arbiter runs. Scales latency and every
+//     energy category that is paid per execution.
+//   - LaserFactor: extra launch power demanded by wider detection
+//     margins (guard-banded comparators need proportionally more
+//     photons for the same BER).
+//   - TuningFactor: extra static ring-tuning power (deeper thermal
+//     bias, periodic recalibration duty).
+type ProtectionOverhead struct {
+	Scheme           string
+	OpticalFactor    float64
+	ElectricalFactor float64
+	ExecutionFactor  float64
+	LaserFactor      float64
+	TuningFactor     float64
+}
+
+// Validate rejects factors below 1 or non-finite: a mitigation scheme
+// that claims to cost less than doing nothing is mispriced.
+func (o ProtectionOverhead) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"optical", o.OpticalFactor},
+		{"electrical", o.ElectricalFactor},
+		{"execution", o.ExecutionFactor},
+		{"laser", o.LaserFactor},
+		{"tuning", o.TuningFactor},
+	} {
+		if f.v < 1 || math.IsInf(f.v, 0) || math.IsNaN(f.v) {
+			return fmt.Errorf("arch: %s overhead factor %v for scheme %q below 1 or not finite", f.name, f.v, o.Scheme)
+		}
+	}
+	return nil
+}
+
+// WithExecutions folds a measured re-execution factor (1 + retries and
+// arbiter runs per protected call, from a Monte-Carlo run's counters)
+// into the a-priori execution overhead.
+func (o ProtectionOverhead) WithExecutions(factor float64) ProtectionOverhead {
+	if factor > 1 && !math.IsInf(factor, 0) && !math.IsNaN(factor) {
+		o.ExecutionFactor *= factor
+	}
+	return o
+}
+
+// ProtectedCost pairs an unprotected NetworkCost with its protected
+// counterpart under one overhead model, so a report can show the yield
+// recovery and its price side by side.
+type ProtectedCost struct {
+	Overhead      ProtectionOverhead
+	Base          NetworkCost
+	Protected     NetworkCost
+	BaseArea      AreaBreakdown
+	ProtectedArea AreaBreakdown
+}
+
+// EnergyOverhead returns protected/unprotected inference energy.
+func (p ProtectedCost) EnergyOverhead() float64 {
+	return ratio(p.Protected.Energy.Total(), p.Base.Energy.Total())
+}
+
+// LatencyOverhead returns protected/unprotected inference latency.
+func (p ProtectedCost) LatencyOverhead() float64 {
+	return ratio(p.Protected.Latency, p.Base.Latency)
+}
+
+// AreaOverhead returns protected/unprotected ensemble area.
+func (p ProtectedCost) AreaOverhead() float64 {
+	return ratio(p.ProtectedArea.Total(), p.BaseArea.Total())
+}
+
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 1
+	}
+	return num / den
+}
+
+// tuningShare returns the fraction of the per-op Mul energy that is
+// static ring tuning rather than active switching — the slice a
+// TuningFactor scales. Zero for the all-electrical design.
+func tuningShare(cfg Config) float64 {
+	if cfg.Design == EE {
+		return 0
+	}
+	cal := cfg.Cal
+	active := 2 * float64(NativePrecision) * cal.MRRSwitchPerBit
+	rings := float64(DeviceCensus(cfg).TotalRings())
+	tuning := rings * cal.MRRTuningPower * RoundTime(cfg) / cfg.ConcurrentOps()
+	if active+tuning <= 0 {
+		return 0
+	}
+	return tuning / (active + tuning)
+}
+
+// ApplyProtection prices a protected inference: every energy category
+// paid per execution scales by the execution factor, the optically
+// implemented categories additionally scale by the optical factor (and
+// the electrically implemented ones by the electrical factor), laser
+// energy by the margin factor, and the static-tuning slice of the
+// multiply by the tuning factor. Latency scales by the execution
+// factor — redundant wavelengths ride in parallel, but retries and
+// arbiter runs serialize. Area scales the optical and electrical
+// categories by their factors. The activation evaluates once, on the
+// accepted result, and is left alone.
+func ApplyProtection(nc NetworkCost, o ProtectionOverhead) (ProtectedCost, error) {
+	if err := o.Validate(); err != nil {
+		return ProtectedCost{}, err
+	}
+	cfg := nc.Config
+	if err := cfg.Validate(); err != nil {
+		return ProtectedCost{}, err
+	}
+	optical := cfg.Design != EE
+	exec := o.ExecutionFactor
+	ts := tuningShare(cfg)
+
+	scale := func(b Breakdown) Breakdown {
+		out := b
+		if optical {
+			// The tuning slice of the multiply is a static power draw: it
+			// scales with the tuning factor (and the extra rings), not
+			// with re-executions.
+			activeMul := b.Mul * (1 - ts) * o.OpticalFactor * exec
+			tuningMul := b.Mul * ts * o.OpticalFactor * o.TuningFactor
+			out.Mul = activeMul + tuningMul
+			out.OtoE = b.OtoE * o.OpticalFactor * exec
+			out.Comm = b.Comm * o.OpticalFactor * exec
+			out.Laser = b.Laser * o.OpticalFactor * o.LaserFactor * exec
+		} else {
+			out.Mul = b.Mul * o.ElectricalFactor * exec
+			out.OtoE = b.OtoE * o.ElectricalFactor * exec
+			out.Comm = b.Comm * o.ElectricalFactor * exec
+			out.Laser = b.Laser * exec
+		}
+		if cfg.Design == OO {
+			out.Add = b.Add * o.OpticalFactor * exec
+		} else {
+			out.Add = b.Add * o.ElectricalFactor * exec
+		}
+		return out
+	}
+
+	prot := nc
+	prot.Layers = make([]LayerCost, len(nc.Layers))
+	prot.Energy = Breakdown{}
+	prot.Latency = 0
+	for i, l := range nc.Layers {
+		pl := l
+		pl.Energy = scale(l.Energy)
+		pl.Latency = l.Latency * exec
+		pl.Rounds = l.Rounds * exec
+		prot.Layers[i] = pl
+		prot.Energy = prot.Energy.Plus(pl.Energy)
+		prot.Latency += pl.Latency
+	}
+
+	baseArea := Area(cfg)
+	protArea := baseArea
+	protArea.Electrical *= o.ElectricalFactor
+	protArea.Rings *= o.OpticalFactor
+	protArea.MZIs *= o.OpticalFactor
+	protArea.Waveguides *= o.OpticalFactor
+	protArea.Receivers *= o.OpticalFactor
+
+	return ProtectedCost{
+		Overhead:      o,
+		Base:          nc,
+		Protected:     prot,
+		BaseArea:      baseArea,
+		ProtectedArea: protArea,
+	}, nil
+}

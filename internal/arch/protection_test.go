@@ -1,0 +1,151 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"pixel/internal/cnn"
+)
+
+func lenetCost(t *testing.T, d Design) NetworkCost {
+	t.Helper()
+	nc, err := CostNetwork(cnn.LeNet(), MustConfig(d, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+// TestApplyProtectionRedundancyOO pins the headline accounting: 3-way
+// redundancy on the all-optical design roughly triples the optical
+// energy and area while leaving latency alone (the copies ride spare
+// wavelengths in parallel).
+func TestApplyProtectionRedundancyOO(t *testing.T) {
+	nc := lenetCost(t, OO)
+	o := ProtectionOverhead{
+		Scheme: "tmr", OpticalFactor: 3, ElectricalFactor: 1.05,
+		ExecutionFactor: 1, LaserFactor: 1, TuningFactor: 1,
+	}
+	pc, err := ApplyProtection(nc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := pc.EnergyOverhead(); e < 2.5 || e > 3.1 {
+		t.Errorf("TMR OO energy overhead %.3f, want ~3 (optical-dominated design)", e)
+	}
+	if l := pc.LatencyOverhead(); l != 1 {
+		t.Errorf("TMR OO latency overhead %.3f, want exactly 1 (parallel copies)", l)
+	}
+	if a := pc.AreaOverhead(); a < 2.5 {
+		t.Errorf("TMR OO area overhead %.3f, want ~3", a)
+	}
+	// The protected breakdown must dominate the base in every category
+	// it scales — no free protection.
+	if pc.Protected.Energy.Total() <= pc.Base.Energy.Total() {
+		t.Error("protected energy not above base")
+	}
+}
+
+// TestApplyProtectionExecutions pins that a measured retry factor
+// scales latency and the per-execution energy together.
+func TestApplyProtectionExecutions(t *testing.T) {
+	nc := lenetCost(t, OO)
+	o := ProtectionOverhead{
+		Scheme: "parity", OpticalFactor: 1.125, ElectricalFactor: 1.125,
+		ExecutionFactor: 1, LaserFactor: 1, TuningFactor: 1,
+	}.WithExecutions(1.4)
+	if o.ExecutionFactor != 1.4 {
+		t.Fatalf("WithExecutions folded to %v, want 1.4", o.ExecutionFactor)
+	}
+	pc, err := ApplyProtection(nc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := pc.LatencyOverhead(); math.Abs(l-1.4) > 1e-9 {
+		t.Errorf("latency overhead %.4f, want 1.4 (the retry factor)", l)
+	}
+	if e := pc.EnergyOverhead(); e <= 1.4 {
+		t.Errorf("energy overhead %.4f, want > 1.4 (retries on top of the parity lane)", e)
+	}
+	// A sub-1 or non-finite measured factor must not discount the cost.
+	if got := (ProtectionOverhead{ExecutionFactor: 1}).WithExecutions(0.5).ExecutionFactor; got != 1 {
+		t.Errorf("WithExecutions(0.5) = %v, want unchanged 1", got)
+	}
+	if got := (ProtectionOverhead{ExecutionFactor: 1}).WithExecutions(math.Inf(1)).ExecutionFactor; got != 1 {
+		t.Errorf("WithExecutions(+Inf) = %v, want unchanged 1", got)
+	}
+}
+
+// TestApplyProtectionTuningAndLaser pins the guard-banding price: only
+// the laser and the static-tuning slice of the multiply move, so the
+// overhead is real but far below a redundancy scheme's.
+func TestApplyProtectionTuningAndLaser(t *testing.T) {
+	nc := lenetCost(t, OO)
+	o := ProtectionOverhead{
+		Scheme: "guardband", OpticalFactor: 1, ElectricalFactor: 1.02,
+		ExecutionFactor: 1, LaserFactor: 2, TuningFactor: 2,
+	}
+	pc, err := ApplyProtection(nc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pc.EnergyOverhead()
+	if e <= 1 {
+		t.Errorf("guardband energy overhead %.4f, want > 1 (no free protection)", e)
+	}
+	if e >= 2 {
+		t.Errorf("guardband energy overhead %.4f, want < 2 (rate-level, not redundancy)", e)
+	}
+	if l := pc.LatencyOverhead(); l != 1 {
+		t.Errorf("guardband latency overhead %.3f, want 1", l)
+	}
+	if pc.Protected.Energy.Laser <= 2*nc.Energy.Laser*0.999 || pc.Protected.Energy.Laser > 2*nc.Energy.Laser*1.001 {
+		t.Errorf("laser energy %.3g, want exactly doubled from %.3g", pc.Protected.Energy.Laser, nc.Energy.Laser)
+	}
+}
+
+// TestApplyProtectionEE pins the all-electrical path: optical factors
+// are inert, time redundancy carries the cost.
+func TestApplyProtectionEE(t *testing.T) {
+	nc := lenetCost(t, EE)
+	o := ProtectionOverhead{
+		Scheme: "tmr", OpticalFactor: 1, ElectricalFactor: 1.05,
+		ExecutionFactor: 3, LaserFactor: 1, TuningFactor: 1,
+	}
+	pc, err := ApplyProtection(nc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := pc.LatencyOverhead(); math.Abs(l-3) > 1e-9 {
+		t.Errorf("EE time-redundancy latency overhead %.3f, want 3", l)
+	}
+	if e := pc.EnergyOverhead(); e < 2.9 {
+		t.Errorf("EE time-redundancy energy overhead %.3f, want ~3", e)
+	}
+}
+
+// TestProtectionOverheadValidate rejects sub-1 and non-finite factors.
+func TestProtectionOverheadValidate(t *testing.T) {
+	good := ProtectionOverhead{
+		OpticalFactor: 1, ElectricalFactor: 1, ExecutionFactor: 1,
+		LaserFactor: 1, TuningFactor: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("all-1 overhead rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*ProtectionOverhead){
+		"optical<1":   func(o *ProtectionOverhead) { o.OpticalFactor = 0.9 },
+		"exec zero":   func(o *ProtectionOverhead) { o.ExecutionFactor = 0 },
+		"laser NaN":   func(o *ProtectionOverhead) { o.LaserFactor = math.NaN() },
+		"tuning +Inf": func(o *ProtectionOverhead) { o.TuningFactor = math.Inf(1) },
+	} {
+		o := good
+		mut(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, o)
+		}
+		if _, err := ApplyProtection(lenetCost(t, OE), o); err == nil {
+			t.Errorf("%s: ApplyProtection accepted %+v", name, o)
+		}
+	}
+}

@@ -58,6 +58,12 @@ type flipStream struct {
 	countdown uint64
 	flips     int64
 	bits      int64
+	// words counts exposed words that took at least one flip; oddWords
+	// counts those that took an odd number — the word-level errors a
+	// per-word parity lane can detect (even flip counts cancel in the
+	// parity bit and escape).
+	words    int64
+	oddWords int64
 }
 
 // maxGap bounds a sampled gap so float rounding at tiny p cannot
@@ -96,9 +102,10 @@ func (s *flipStream) apply(v uint64, width int) uint64 {
 	}
 	s.bits += int64(width)
 	w := uint64(width)
+	var flipped int64
 	for s.countdown < w {
 		v ^= uint64(1) << s.countdown
-		s.flips++
+		flipped++
 		gap := s.gap()
 		if gap >= maxGap-s.countdown {
 			s.countdown = maxGap
@@ -107,6 +114,13 @@ func (s *flipStream) apply(v uint64, width int) uint64 {
 		s.countdown += 1 + gap
 	}
 	s.countdown -= w
+	if flipped > 0 {
+		s.flips += flipped
+		s.words++
+		if flipped&1 == 1 {
+			s.oddWords++
+		}
+	}
 	return v
 }
 
@@ -171,6 +185,18 @@ func (e *PerturbedEngine) Rates() FlipRates { return e.rates }
 
 // InjectedFlips returns the total number of bits flipped so far.
 func (e *PerturbedEngine) InjectedFlips() int64 { return e.mul.flips + e.acc.flips }
+
+// CorruptedWords returns how many exposed words took at least one
+// flip so far.
+func (e *PerturbedEngine) CorruptedWords() int64 { return e.mul.words + e.acc.words }
+
+// OddFlipWords returns how many exposed words took an odd number of
+// flips so far — the word-level errors a per-word parity wavelength
+// detects. Words with an even flip count cancel in the parity bit and
+// escape detection, which is exactly the blind spot a real parity
+// frame has; internal/protect's detect-and-retry scheme keys off this
+// counter so its coverage is faithful rather than oracle-perfect.
+func (e *PerturbedEngine) OddFlipWords() int64 { return e.mul.oddWords + e.acc.oddWords }
 
 // BitsExposed returns how many bits have passed through active
 // (non-zero-rate) injection streams — the denominator of the injected

@@ -1,0 +1,90 @@
+package cliutil
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pixel"
+)
+
+// FuzzParseFloatAxis pins the axis-flag contract under arbitrary
+// input: never panic, never hang, never allocate an unbounded axis;
+// every failure wraps pixel.ErrBadSpec and every success is a bounded
+// list of finite non-negative values.
+func FuzzParseFloatAxis(f *testing.F) {
+	for _, seed := range []string{
+		"0:0.5:5",
+		"0,1,2,4",
+		"2:1:2",
+		"0:0:5",
+		"1e300:1:0",
+		"0:1e-300:1",
+		"1e16:0.001:1e16",
+		":::",
+		"0:1:",
+		"NaN",
+		"-1:1:2",
+		"0:1:1e300",
+		"+Inf,1",
+		" 0 : 0.5 : 2 ",
+		"0..5:1:3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		axis, err := ParseFloatAxis(s)
+		if err != nil {
+			if !errors.Is(err, pixel.ErrBadSpec) {
+				t.Fatalf("ParseFloatAxis(%q) error %v does not wrap ErrBadSpec", s, err)
+			}
+			if axis != nil {
+				t.Fatalf("ParseFloatAxis(%q) returned values alongside an error", s)
+			}
+			return
+		}
+		if len(axis) == 0 {
+			t.Fatalf("ParseFloatAxis(%q) succeeded with an empty axis", s)
+		}
+		if len(axis) > MaxAxisPoints {
+			t.Fatalf("ParseFloatAxis(%q) produced %d points, above the %d cap", s, len(axis), MaxAxisPoints)
+		}
+		for _, v := range axis {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("ParseFloatAxis(%q) produced bad value %v", s, v)
+			}
+		}
+	})
+}
+
+// FuzzParseInts pins the integer-axis contract: never panic, failures
+// wrap pixel.ErrBadPrecision, successes hold only positive values.
+func FuzzParseInts(f *testing.F) {
+	for _, seed := range []string{
+		"1,2,3",
+		" 2, 4,8 ,16",
+		"0",
+		"-1",
+		"2,x",
+		"",
+		"99999999999999999999",
+		"8",
+		"1,,2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		vals, err := ParseInts(s)
+		if err != nil {
+			if !errors.Is(err, pixel.ErrBadPrecision) {
+				t.Fatalf("ParseInts(%q) error %v does not wrap ErrBadPrecision", s, err)
+			}
+			return
+		}
+		for _, v := range vals {
+			if v <= 0 {
+				t.Fatalf("ParseInts(%q) produced non-positive %d", s, v)
+			}
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"pixel/internal/bitserial"
 	"pixel/internal/photonics"
 	"pixel/internal/phy"
+	"pixel/internal/protect"
 	"pixel/internal/thermal"
 )
 
@@ -202,6 +203,26 @@ func clampProb(p float64) float64 {
 		return 0.5
 	}
 	return p
+}
+
+// ProtectedRates maps a perturbation to flip rates after a mitigation
+// derate: the resonance trim shrinks the sampled fabrication offset,
+// extra tuning steps re-converge the thermal loop, the threshold guard
+// re-centres the comparator ladder, and the deeper bias widens the
+// heater's authority window. The derate acts on this trial's *sampled*
+// physical reality — the same underlying normals as the unprotected
+// rates — so the protected and unprotected curves share their random
+// draws (common random numbers).
+func (m VariationModel) ProtectedRates(p Perturbation, d arch.Design, dr protect.Derate) (bitserial.FlipRates, error) {
+	if dr.TrimFactor > 0 {
+		p.ResonanceOffset *= dr.TrimFactor
+	}
+	m.TuningSteps += dr.ExtraTuningSteps
+	if dr.ThresholdGuard > 1 {
+		p.ThresholdOffset /= dr.ThresholdGuard
+	}
+	m.BiasKelvin += dr.ExtraBiasKelvin
+	return m.Rates(p, d)
 }
 
 // Rates maps one trial's perturbation to the bit-flip rates of the

@@ -11,6 +11,7 @@ import (
 
 	"pixel/internal/arch"
 	"pixel/internal/bitserial"
+	"pixel/internal/protect"
 	"pixel/internal/qnn"
 	"pixel/internal/tensor"
 )
@@ -48,6 +49,12 @@ type Spec struct {
 	// differing from the baseline for a trial to count as yielding;
 	// 0 demands bit-exact inference.
 	ErrorBudget float64
+	// Protection, when non-nil, makes the run produce a second, paired
+	// yield curve: every trial re-runs its inference through the scheme
+	// — same perturbation draw, same fault-stream seeds (common random
+	// numbers) — so the protected and unprotected curves differ only by
+	// the mitigation, not by resampling noise.
+	Protection protect.Scheme
 }
 
 // Validate reports an error for an unrunnable spec.
@@ -74,6 +81,11 @@ func (s Spec) Validate() error {
 	}
 	if err := s.Variation.Validate(); err != nil {
 		return err
+	}
+	if s.Protection != nil {
+		if err := s.Protection.Validate(); err != nil {
+			return err
+		}
 	}
 	// Engine geometry is validated once here rather than per trial.
 	if _, err := bitserial.NewFastEngine(s.Bits, s.Terms); err != nil {
@@ -106,6 +118,23 @@ type SigmaPoint struct {
 	CleanTrials int `json:"clean_trials"`
 }
 
+// ProtectedPoint is the aggregate of the protected re-runs at one σ
+// scale: the same curve statistics as the unprotected SigmaPoint plus
+// the mitigation-work counters the scheme accumulated.
+type ProtectedPoint struct {
+	SigmaPoint
+	// Calls, Retries, Disagreements and GaveUp sum the schemes'
+	// counters over every trial at this σ (see protect.Counters).
+	Calls         int64 `json:"calls"`
+	Retries       int64 `json:"retries"`
+	Disagreements int64 `json:"disagreements"`
+	GaveUp        int64 `json:"gave_up"`
+	// RetryFactor is 1 + sequential re-executions per protected call —
+	// the measured execution overhead a detect-and-retry scheme feeds
+	// into the arch cost model.
+	RetryFactor float64 `json:"retry_factor"`
+}
+
 // Report is the result of one Monte-Carlo run.
 type Report struct {
 	// Design, Bits, Trials, Seed and ErrorBudget echo the spec.
@@ -118,6 +147,23 @@ type Report struct {
 	Baseline []int64 `json:"baseline"`
 	// Points is the yield curve, one entry per σ scale in spec order.
 	Points []SigmaPoint `json:"points"`
+	// Protection names the mitigation scheme; Protected is its paired
+	// yield curve on the same σ axis. Both empty without a scheme.
+	Protection string           `json:"protection,omitempty"`
+	Protected  []ProtectedPoint `json:"protected,omitempty"`
+}
+
+// MaxRetryFactor returns the largest per-point retry factor of the
+// protected curve (1 without one) — the worst-case measured execution
+// overhead across the axis.
+func (r *Report) MaxRetryFactor() float64 {
+	max := 1.0
+	for _, p := range r.Protected {
+		if p.RetryFactor > max {
+			max = p.RetryFactor
+		}
+	}
+	return max
 }
 
 // MinYield returns the smallest yield on the curve — the bottom of the
@@ -170,12 +216,20 @@ func trialSeed(root int64, trial, stream int) int64 {
 	return int64(splitmix64(splitmix64(uint64(root)) + uint64(trial)*streamCount + uint64(stream)))
 }
 
-// trialResult is one virtual part's outcome.
+// trialResult is one virtual part's outcome — and, when the spec
+// carries a protection scheme, the outcome of the same part's
+// protected re-run from the same random draws.
 type trialResult struct {
 	mismatch    float64
 	argmaxOK    bool
 	injectedBER float64
 	clean       bool
+
+	protMismatch    float64
+	protArgmaxOK    bool
+	protInjectedBER float64
+	protClean       bool
+	protCounters    protect.Counters
 }
 
 // Run executes the Monte-Carlo sweep: the baseline inference once,
@@ -269,11 +323,21 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 	for i := range rep.Points {
 		rep.Points[i] = aggregate(spec.Sigmas[i], results[i*spec.Trials:(i+1)*spec.Trials], spec.ErrorBudget)
 	}
+	if spec.Protection != nil {
+		rep.Protection = spec.Protection.Name()
+		rep.Protected = make([]ProtectedPoint, nSigma)
+		for i := range rep.Protected {
+			rep.Protected[i] = aggregateProtected(spec.Sigmas[i], results[i*spec.Trials:(i+1)*spec.Trials], spec.ErrorBudget)
+		}
+	}
 	return rep, nil
 }
 
 // runTrial fabricates one virtual part at one σ scale and measures its
-// inference against the baseline.
+// inference against the baseline. With a protection scheme in the spec
+// the same part runs twice — unprotected, then through the scheme —
+// reusing the identical perturbation draw and fault-stream seeds, so
+// the paired curves are a common-random-numbers comparison.
 func runTrial(ctx context.Context, spec Spec, sigma float64, trial int, baseline []int64, baseArgmax int) (trialResult, error) {
 	model := spec.Variation.Scale(sigma)
 	pertRng := rand.New(rand.NewSource(trialSeed(spec.Seed, trial, streamPerturb)))
@@ -282,35 +346,85 @@ func runTrial(ctx context.Context, spec Spec, sigma float64, trial int, baseline
 	if err != nil {
 		return trialResult{}, err
 	}
+	var res trialResult
 	if rates.Zero() {
 		// No exposed datapath flips a bit, so the inference is
 		// bit-identical to the baseline (the σ=0 degeneracy pinned by
 		// the engine- and model-level tests) — skip the redundant run.
-		return trialResult{argmaxOK: true, clean: true}, nil
+		res.argmaxOK = true
+		res.clean = true
+	} else {
+		eng, err := newTrialEngine(spec, rates, trial)
+		if err != nil {
+			return trialResult{}, err
+		}
+		// The engine consumes its streams in datapath order, so the trial
+		// itself must run serially; parallelism lives at the trial level.
+		out, err := spec.Model.RunContext(ctx, spec.Input, stripesDotter{eng}, qnn.RunOptions{Workers: 1})
+		if err != nil {
+			return trialResult{}, fmt.Errorf("montecarlo: trial %d at sigma %v: %w", trial, sigma, err)
+		}
+		res.mismatch = mismatchFraction(out.Data, baseline)
+		res.argmaxOK = argmax(out.Data) == baseArgmax
+		res.injectedBER = eng.InjectedBER()
 	}
-	eng, err := bitserial.NewPerturbedEngine(spec.Bits, spec.Terms, rates,
-		rand.New(rand.NewSource(trialSeed(spec.Seed, trial, streamMul))),
-		rand.New(rand.NewSource(trialSeed(spec.Seed, trial, streamAcc))))
+	if spec.Protection == nil {
+		return res, nil
+	}
+
+	// Protected re-run. The derate may change the rates in either
+	// direction per trial (e.g. re-biasing the heater trades cold-side
+	// authority for hot-side), so it is computed independently of the
+	// unprotected branch.
+	pRates, err := model.ProtectedRates(pert, spec.Design, spec.Protection.Derate())
 	if err != nil {
 		return trialResult{}, err
 	}
-	// The engine consumes its streams in datapath order, so the trial
-	// itself must run serially; parallelism lives at the trial level.
-	out, err := spec.Model.RunContext(ctx, spec.Input, stripesDotter{eng}, qnn.RunOptions{Workers: 1})
-	if err != nil {
-		return trialResult{}, fmt.Errorf("montecarlo: trial %d at sigma %v: %w", trial, sigma, err)
+	if pRates.Zero() {
+		res.protArgmaxOK = true
+		res.protClean = true
+		return res, nil
 	}
+	eng, err := newTrialEngine(spec, pRates, trial)
+	if err != nil {
+		return trialResult{}, err
+	}
+	wrapped, err := spec.Protection.Wrap(eng)
+	if err != nil {
+		return trialResult{}, err
+	}
+	out, err := spec.Model.RunContext(ctx, spec.Input, stripesDotter{wrapped}, qnn.RunOptions{Workers: 1})
+	if err != nil {
+		return trialResult{}, fmt.Errorf("montecarlo: protected trial %d at sigma %v: %w", trial, sigma, err)
+	}
+	res.protMismatch = mismatchFraction(out.Data, baseline)
+	res.protArgmaxOK = argmax(out.Data) == baseArgmax
+	res.protInjectedBER = eng.InjectedBER()
+	if m, ok := wrapped.(protect.Metered); ok {
+		res.protCounters = m.Counters()
+	}
+	return res, nil
+}
+
+// newTrialEngine builds the trial's fault-injecting engine; the
+// protected re-run rebuilds it with the same stream seeds, which is
+// what makes the paired curves share their fault draws.
+func newTrialEngine(spec Spec, rates bitserial.FlipRates, trial int) (*bitserial.PerturbedEngine, error) {
+	return bitserial.NewPerturbedEngine(spec.Bits, spec.Terms, rates,
+		rand.New(rand.NewSource(trialSeed(spec.Seed, trial, streamMul))),
+		rand.New(rand.NewSource(trialSeed(spec.Seed, trial, streamAcc))))
+}
+
+// mismatchFraction is the fraction of output elements differing from
+// the baseline.
+func mismatchFraction(out, baseline []int64) float64 {
 	mismatched := 0
-	for i, v := range out.Data {
+	for i, v := range out {
 		if v != baseline[i] {
 			mismatched++
 		}
 	}
-	return trialResult{
-		mismatch:    float64(mismatched) / float64(len(baseline)),
-		argmaxOK:    argmax(out.Data) == baseArgmax,
-		injectedBER: eng.InjectedBER(),
-	}, nil
+	return float64(mismatched) / float64(len(baseline))
 }
 
 // aggregate folds one σ point's trials into curve statistics.
@@ -342,6 +456,32 @@ func aggregate(sigma float64, trials []trialResult, budget float64) SigmaPoint {
 	sort.Float64s(mismatches)
 	p.P50Mismatch = percentile(mismatches, 0.50)
 	p.P95Mismatch = percentile(mismatches, 0.95)
+	return p
+}
+
+// aggregateProtected folds one σ point's protected re-runs into curve
+// statistics plus the summed mitigation counters.
+func aggregateProtected(sigma float64, trials []trialResult, budget float64) ProtectedPoint {
+	conv := make([]trialResult, len(trials))
+	for i, t := range trials {
+		conv[i] = trialResult{
+			mismatch:    t.protMismatch,
+			argmaxOK:    t.protArgmaxOK,
+			injectedBER: t.protInjectedBER,
+			clean:       t.protClean,
+		}
+	}
+	p := ProtectedPoint{SigmaPoint: aggregate(sigma, conv, budget)}
+	for _, t := range trials {
+		p.Calls += t.protCounters.Calls
+		p.Retries += t.protCounters.Retries
+		p.Disagreements += t.protCounters.Disagreements
+		p.GaveUp += t.protCounters.GaveUp
+	}
+	p.RetryFactor = 1
+	if p.Calls > 0 {
+		p.RetryFactor = 1 + float64(p.Retries)/float64(p.Calls)
+	}
 	return p
 }
 

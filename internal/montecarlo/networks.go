@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"pixel/internal/cnn"
 	"pixel/internal/qnn"
 	"pixel/internal/tensor"
 )
@@ -16,20 +17,22 @@ import (
 // same network the qnn golden test pins.
 const demoSeed = 23
 
-// Network is a ready-to-perturb model: the net, its stimulus, and the
-// bit-serial engine geometry that fits it.
+// Network is a ready-to-perturb model: the net, its stimulus, the
+// bit-serial engine geometry that fits it, and the layer-count model
+// the arch cost accounting prices protection overhead against.
 type Network struct {
 	Model *qnn.Model
 	Input *tensor.Tensor
 	Bits  int
 	Terms int
+	Cost  cnn.Network
 }
 
 // builders maps lower-case network names to constructors.
 var builders = map[string]func() Network{
 	"lenet": func() Network {
 		m, in := qnn.DemoLeNet(rand.New(rand.NewSource(demoSeed)))
-		return Network{Model: m, Input: in, Bits: qnn.DemoLeNetBits, Terms: qnn.DemoLeNetTerms}
+		return Network{Model: m, Input: in, Bits: qnn.DemoLeNetBits, Terms: qnn.DemoLeNetTerms, Cost: cnn.LeNet()}
 	},
 	"tiny": buildTiny,
 }
@@ -60,7 +63,14 @@ func buildTiny() Network {
 	for i := range in.Data {
 		in.Data[i] = rng.Int63n(16)
 	}
-	return Network{Model: m, Input: in, Bits: 4, Terms: 256}
+	cost := cnn.Network{
+		Name: "tiny",
+		Layers: []cnn.Layer{
+			{Name: "conv", Type: cnn.Conv, H: 8, W: 8, C: 1, Pad: 1, R: 3, U: 1, M: 4},
+			{Name: "fc", Type: cnn.FC, In: 256, Out: 10},
+		},
+	}
+	return Network{Model: m, Input: in, Bits: 4, Terms: 256, Cost: cost}
 }
 
 // Networks lists the known network names, sorted.

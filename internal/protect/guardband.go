@@ -1,0 +1,121 @@
+package protect
+
+import (
+	"fmt"
+
+	"pixel/internal/arch"
+	"pixel/internal/bitserial"
+)
+
+// GuardBand is rate-level mitigation: instead of correcting faults in
+// the datapath it spends calibration effort and static tuning power to
+// keep the faults from happening. Four knobs, all surfaced through
+// Derate into the variation model:
+//
+//   - a post-fabrication resonance trim absorbs most of the per-part
+//     MRR resonance offset (TrimFactor of it survives);
+//   - periodic thermal recalibration every RecalEvery inferences
+//     re-converges the tuning loop, equivalent to ExtraTuningSteps more
+//     control steps at the operating point;
+//   - the comparator ladder re-centres its thresholds, dividing the
+//     threshold offset by ThresholdGuard, at the price of launching
+//     proportionally more optical power into the guarded margins;
+//   - ExtraBiasKelvin deepens the thermal bias so the heater holds
+//     symmetric authority over hot and cold ambient swings (the stock
+//     bias can only cool by backing off, and hot excursions beyond it
+//     saturate the loop).
+type GuardBand struct {
+	TrimFactor       float64
+	ExtraTuningSteps int
+	ThresholdGuard   float64
+	ExtraBiasKelvin  float64
+	// RecalEvery is the number of inferences between recalibrations;
+	// the recal duty cycle adds to the static tuning power.
+	RecalEvery int
+}
+
+// DefaultGuardBand returns the calibrated guard-banding recipe: trim
+// to 15% residual resonance offset, 8 extra tuning steps, halve the
+// threshold excursion, centre the heater authority window (+10 K on
+// the stock 10 K bias), recalibrate every 32 inferences.
+func DefaultGuardBand() GuardBand {
+	return GuardBand{
+		TrimFactor:       0.15,
+		ExtraTuningSteps: 8,
+		ThresholdGuard:   2,
+		ExtraBiasKelvin:  10,
+		RecalEvery:       32,
+	}
+}
+
+// Name returns "guardband".
+func (g GuardBand) Name() string { return "guardband" }
+
+// Validate bounds the knobs.
+func (g GuardBand) Validate() error {
+	if g.TrimFactor < 0 || g.TrimFactor > 1 {
+		return fmt.Errorf("protect: guardband trim factor %v out of [0, 1]", g.TrimFactor)
+	}
+	if g.ExtraTuningSteps < 0 || g.ExtraTuningSteps > 64 {
+		return fmt.Errorf("protect: guardband extra tuning steps %d out of [0, 64]", g.ExtraTuningSteps)
+	}
+	if g.ThresholdGuard < 1 || g.ThresholdGuard > 16 {
+		return fmt.Errorf("protect: guardband threshold guard %v out of [1, 16]", g.ThresholdGuard)
+	}
+	if g.ExtraBiasKelvin < 0 || g.ExtraBiasKelvin > 100 {
+		return fmt.Errorf("protect: guardband extra bias %v K out of [0, 100]", g.ExtraBiasKelvin)
+	}
+	if g.RecalEvery < 1 {
+		return fmt.Errorf("protect: guardband recal interval %d must be >= 1", g.RecalEvery)
+	}
+	return nil
+}
+
+// Derate maps the knobs onto the variation model.
+func (g GuardBand) Derate() Derate {
+	return Derate{
+		TrimFactor:       g.TrimFactor,
+		ExtraTuningSteps: g.ExtraTuningSteps,
+		ThresholdGuard:   g.ThresholdGuard,
+		ExtraBiasKelvin:  g.ExtraBiasKelvin,
+	}
+}
+
+// nominalBiasKelvin is the stock thermal bias of the variation model
+// (montecarlo.DefaultVariationModel) the extra bias is priced against.
+const nominalBiasKelvin = 10
+
+// Overhead prices the scheme: the deeper bias scales the static ring
+// heater power roughly linearly, the recalibration duty adds its
+// fraction on top, and the guarded comparator margins demand
+// proportionally more launch power on the all-optical design. The
+// datapath itself is untouched — no extra wavelengths, no retries.
+func (g GuardBand) Overhead(d arch.Design) arch.ProtectionOverhead {
+	o := arch.ProtectionOverhead{
+		Scheme:           g.Name(),
+		OpticalFactor:    1,
+		ElectricalFactor: 1.02, // recalibration sequencer
+		ExecutionFactor:  1,
+		LaserFactor:      1,
+		TuningFactor:     1,
+	}
+	if d == arch.EE {
+		// Nothing to guard-band on the all-electrical design.
+		o.ElectricalFactor = 1
+		return o
+	}
+	o.TuningFactor = 1 + g.ExtraBiasKelvin/nominalBiasKelvin + 1/float64(g.RecalEvery)
+	if d == arch.OO {
+		o.LaserFactor = g.ThresholdGuard
+	}
+	return o
+}
+
+// Wrap is the identity: guard-banding acts entirely through the
+// Derate path, before faults exist.
+func (g GuardBand) Wrap(e bitserial.Stripes) (bitserial.Stripes, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

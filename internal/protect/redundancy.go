@@ -1,0 +1,199 @@
+package protect
+
+import (
+	"fmt"
+
+	"pixel/internal/arch"
+	"pixel/internal/bitserial"
+)
+
+// maxCopies bounds N-modular redundancy: beyond a handful of copies
+// the spare-wavelength budget is gone and the vote tree dominates.
+const maxCopies = 9
+
+// Redundancy is lane-level N-modular redundancy: every dot product is
+// executed Copies times — each copy on its own spare-wavelength lane,
+// hence with independent fault draws — and the digitised sums are
+// majority-voted. A tie (no strict majority) triggers one sequential
+// arbiter re-execution, counted as a retry.
+type Redundancy struct {
+	// Copies is the number of redundant executions per call; 3 is
+	// classic TMR, 2 (DMR) detects but must arbitrate every mismatch.
+	Copies int
+}
+
+// TMR returns classic triple-modular redundancy.
+func TMR() Redundancy { return Redundancy{Copies: 3} }
+
+// Name returns "tmr", "dmr" or "nmr".
+func (r Redundancy) Name() string {
+	switch r.Copies {
+	case 2:
+		return "dmr"
+	case 3:
+		return "tmr"
+	default:
+		return "nmr"
+	}
+}
+
+// Validate bounds the copy count to [2, maxCopies].
+func (r Redundancy) Validate() error {
+	if r.Copies < 2 || r.Copies > maxCopies {
+		return fmt.Errorf("protect: redundancy copies %d out of [2, %d]", r.Copies, maxCopies)
+	}
+	return nil
+}
+
+// Derate returns the zero derate: redundancy is purely a datapath
+// scheme and leaves the physical flip rates alone.
+func (r Redundancy) Derate() Derate { return Derate{} }
+
+// Overhead prices the copies. On the optical designs the copies ride
+// spare wavelengths in parallel — optical energy scales by Copies,
+// the electrical side adds a small vote tree, latency is untouched
+// until a tie forces an arbiter run. On EE there are no spare
+// wavelengths: the copies run back to back (time redundancy), so the
+// execution factor carries the cost instead.
+func (r Redundancy) Overhead(d arch.Design) arch.ProtectionOverhead {
+	c := float64(r.Copies)
+	o := arch.ProtectionOverhead{
+		Scheme:           r.Name(),
+		OpticalFactor:    c,
+		ElectricalFactor: 1.05, // the majority-vote tree
+		ExecutionFactor:  1,
+		LaserFactor:      1,
+		TuningFactor:     1,
+	}
+	if d == arch.EE {
+		o.OpticalFactor = 1
+		o.ExecutionFactor = c
+	}
+	return o
+}
+
+// Wrap returns the voting engine.
+func (r Redundancy) Wrap(e bitserial.Stripes) (bitserial.Stripes, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &redundant{base: e, copies: r.Copies, mask: accMask(e)}, nil
+}
+
+// redundant is the voting wrapper. It consumes the wrapped engine's
+// fault streams sequentially, so each copy sees an independent draw —
+// exactly what physically distinct wavelength lanes give.
+type redundant struct {
+	base   bitserial.Stripes
+	copies int
+	mask   uint64
+	c      Counters
+}
+
+var _ bitserial.Stripes = (*redundant)(nil)
+var _ Metered = (*redundant)(nil)
+
+func (r *redundant) Bits() int             { return r.base.Bits() }
+func (r *redundant) AccumulatorWidth() int { return r.base.AccumulatorWidth() }
+func (r *redundant) Counters() Counters    { return r.c }
+
+// vote runs fn Copies times and returns the strict-majority value. If
+// no value reaches a strict majority, one arbiter re-execution breaks
+// the tie: a prior value the arbiter confirms wins, else the arbiter's
+// own result ships. Stats sum over every execution — the honest total
+// work.
+func (r *redundant) vote(fn func() (uint64, bitserial.Stats, error)) (uint64, bitserial.Stats, error) {
+	r.c.Calls++
+	var st bitserial.Stats
+	var vals [maxCopies]uint64
+	for i := 0; i < r.copies; i++ {
+		v, s, err := fn()
+		if err != nil {
+			return 0, bitserial.Stats{}, err
+		}
+		addStats(&st, s)
+		r.c.Executions++
+		vals[i] = v
+	}
+	best, bestCount := vals[0], 0
+	for i := 0; i < r.copies; i++ {
+		count := 0
+		for j := 0; j < r.copies; j++ {
+			if vals[j] == vals[i] {
+				count++
+			}
+		}
+		if count > bestCount {
+			best, bestCount = vals[i], count
+		}
+	}
+	if 2*bestCount > r.copies {
+		if bestCount < r.copies {
+			r.c.Disagreements++
+		}
+		return best, st, nil
+	}
+	// No strict majority: arbitrate with one more execution.
+	r.c.Disagreements++
+	r.c.Retries++
+	r.c.Executions++
+	av, as, err := fn()
+	if err != nil {
+		return 0, bitserial.Stats{}, err
+	}
+	addStats(&st, as)
+	for i := 0; i < r.copies; i++ {
+		if vals[i] == av {
+			return av, st, nil
+		}
+	}
+	return av, st, nil
+}
+
+func (r *redundant) Multiply(neuron, synapse uint64) (uint64, bitserial.Stats, error) {
+	return r.vote(func() (uint64, bitserial.Stats, error) {
+		return r.base.Multiply(neuron, synapse)
+	})
+}
+
+func (r *redundant) DotProduct(neurons, synapses []uint64) (uint64, bitserial.Stats, error) {
+	return r.vote(func() (uint64, bitserial.Stats, error) {
+		return r.base.DotProduct(neurons, synapses)
+	})
+}
+
+// Window mirrors the engines' Window structure — per-filter, per-lane
+// dot products merged electrically — with each lane's dot product
+// voted independently; the clean electrical merge needs no protection.
+func (r *redundant) Window(inputs [][]uint64, synapses [][][]uint64) ([]uint64, bitserial.Stats, error) {
+	return protectedWindow(r, r.mask, inputs, synapses)
+}
+
+// protectedWindow is the shared Window implementation of the datapath
+// wrappers: every lane dot product goes through the wrapper's
+// protected DotProduct, and the cross-lane merge stays electrical and
+// clean, mirroring FastEngine.Window.
+func protectedWindow(e bitserial.Stripes, mask uint64, inputs [][]uint64, synapses [][][]uint64) ([]uint64, bitserial.Stats, error) {
+	var st bitserial.Stats
+	out := make([]uint64, len(synapses))
+	for k, filter := range synapses {
+		if len(filter) != len(inputs) {
+			return nil, bitserial.Stats{}, fmt.Errorf("protect: filter %d has %d lanes, inputs have %d", k, len(filter), len(inputs))
+		}
+		var acc uint64
+		for lane := range filter {
+			v, vs, err := e.DotProduct(inputs[lane], filter[lane])
+			if err != nil {
+				return nil, bitserial.Stats{}, fmt.Errorf("protect: filter %d lane %d: %w", k, lane, err)
+			}
+			acc = (acc + v) & mask
+			vs.Adds++
+			addStats(&st, vs)
+		}
+		out[k] = acc
+	}
+	if len(synapses) > 0 && len(inputs) > 0 {
+		st.Cycles = len(inputs[0]) * e.Bits()
+	}
+	return out, st, nil
+}

@@ -24,6 +24,9 @@ type robustnessRequest struct {
 	Trials      int       `json:"trials"`
 	Seed        int64     `json:"seed"`
 	ErrorBudget float64   `json:"error_budget"`
+	// Protection optionally selects a fault-mitigation scheme; the
+	// report then carries the paired protected curve and its overhead.
+	Protection *pixel.ProtectionSpec `json:"protection,omitempty"`
 }
 
 func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
@@ -59,14 +62,20 @@ func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
 		Trials:      req.Trials,
 		Seed:        req.Seed,
 		ErrorBudget: req.ErrorBudget,
+		Protection:  req.Protection,
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
 	defer cancel()
 
 	// The report is a pure function of the spec (Workers excluded), so
-	// identical concurrent requests can share one engine run.
+	// identical concurrent requests can share one engine run. A
+	// protection spec extends the key: differently protected runs must
+	// not coalesce.
 	key := fmt.Sprintf("%s|%s|%v|%d|%d|%v", req.Network, d, req.Sigmas, req.Trials, req.Seed, req.ErrorBudget)
+	if p := req.Protection; p != nil {
+		key += fmt.Sprintf("|%s:%d:%d:%d", p.Scheme, p.Copies, p.Retries, p.RecalEvery)
+	}
 	rep, shared, err := s.robustFlights.Do(ctx, key, func(ctx context.Context) (pixel.RobustnessReport, error) {
 		if err := s.limiter.acquire(ctx); err != nil {
 			return pixel.RobustnessReport{}, err

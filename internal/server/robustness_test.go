@@ -19,10 +19,15 @@ type stubRobust struct {
 	calls   atomic.Int64
 	entered chan struct{}
 	unblock chan struct{}
+	ctxErr  chan error
+	specs   chan pixel.RobustnessSpec
 }
 
 func (s *stubRobust) RobustnessContext(ctx context.Context, spec pixel.RobustnessSpec) (pixel.RobustnessReport, error) {
 	s.calls.Add(1)
+	if s.specs != nil {
+		s.specs <- spec
+	}
 	if s.entered != nil {
 		s.entered <- struct{}{}
 	}
@@ -30,6 +35,9 @@ func (s *stubRobust) RobustnessContext(ctx context.Context, spec pixel.Robustnes
 		select {
 		case <-s.unblock:
 		case <-ctx.Done():
+			if s.ctxErr != nil {
+				s.ctxErr <- ctx.Err()
+			}
 			return pixel.RobustnessReport{}, ctx.Err()
 		}
 	}
@@ -252,5 +260,123 @@ func TestRobustnessShedding(t *testing.T) {
 	close(stub.unblock)
 	if status := <-first; status != http.StatusOK {
 		t.Fatalf("blocked request finished with %d", status)
+	}
+}
+
+// TestRobustnessProtectionPassthrough proves the protection object
+// reaches the engine spec verbatim, and that a protected request never
+// coalesces with its unprotected twin — the flight key includes the
+// scheme.
+func TestRobustnessProtectionPassthrough(t *testing.T) {
+	stub := &stubRobust{
+		entered: make(chan struct{}, 2),
+		unblock: make(chan struct{}),
+		specs:   make(chan pixel.RobustnessSpec, 2),
+	}
+	srv := New(Config{Engine: &stubEngine{}, Robust: stub, Logger: discardLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	protectedBody := `{"network":"lenet","design":"OO","sigmas":[0,1,2],"trials":16,"seed":1,"protection":{"scheme":"tmr"}}`
+	statuses := make(chan int, 2)
+	for _, body := range []string{robustBody, protectedBody} {
+		body := body
+		go func() {
+			resp, _ := postJSON(t, ts.URL+"/v1/robustness", body)
+			statuses <- resp.StatusCode
+		}()
+	}
+	// Both runs enter the engine: different keys, no shared flight.
+	<-stub.entered
+	<-stub.entered
+	close(stub.unblock)
+	for i := 0; i < 2; i++ {
+		if status := <-statuses; status != http.StatusOK {
+			t.Fatalf("status = %d, want 200", status)
+		}
+	}
+	if got := stub.calls.Load(); got != 2 {
+		t.Errorf("engine runs = %d, want 2 (protection must split the key)", got)
+	}
+	if got := srv.metrics.coalesced.Load(); got != 0 {
+		t.Errorf("coalesced counter = %d, want 0", got)
+	}
+	var protected, bare int
+	for i := 0; i < 2; i++ {
+		spec := <-stub.specs
+		if p := spec.Protection; p != nil {
+			protected++
+			if p.Scheme != "tmr" {
+				t.Errorf("spec protection scheme %q, want tmr", p.Scheme)
+			}
+		} else {
+			bare++
+		}
+	}
+	if protected != 1 || bare != 1 {
+		t.Errorf("specs seen: %d protected, %d bare; want 1 and 1", protected, bare)
+	}
+}
+
+// TestRobustnessClientCancelReleasesSlot proves a client hang-up mid
+// Monte-Carlo reaches the engine as context cancellation AND releases
+// the admission slot: the very next request on a single-slot server
+// must be admitted, not shed.
+func TestRobustnessClientCancelReleasesSlot(t *testing.T) {
+	stub := &stubRobust{
+		entered: make(chan struct{}, 2),
+		unblock: make(chan struct{}, 1), // fed one token for the recovery request
+		ctxErr:  make(chan error, 1),
+	}
+	srv := New(Config{
+		Engine:      &stubEngine{},
+		Robust:      stub,
+		MaxInFlight: 1,
+		Logger:      discardLogger(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/robustness",
+		strings.NewReader(robustBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	clientErr := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		clientErr <- err
+	}()
+
+	<-stub.entered // the sweep holds the only slot
+	cancel()       // client hangs up
+
+	select {
+	case err := <-stub.ctxErr:
+		if err != context.Canceled {
+			t.Errorf("engine ctx err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("engine never saw the cancellation")
+	}
+	if err := <-clientErr; err == nil {
+		t.Error("client request unexpectedly succeeded")
+	}
+	waitFor(t, "499 recorded", func() bool {
+		return srv.metrics.requestCount("/v1/robustness", statusClientClosedRequest) == 1
+	})
+
+	// The slot must be free again: a fresh request is admitted and
+	// completes once the stub lets it through.
+	stub.unblock <- struct{}{}
+	resp, body := postJSON(t, ts.URL+"/v1/robustness",
+		`{"network":"lenet","design":"OO","sigmas":[0,1],"trials":8,"seed":9}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel status = %d, body %s; want 200 (slot leaked?)", resp.StatusCode, body)
 	}
 }
