@@ -1,0 +1,146 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTPError is a non-2xx pixeld response decoded from the uniform
+// error envelope.
+type HTTPError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code and Message are the envelope's machine and human halves.
+	Code    string
+	Message string
+	// RetryAfterS is the server's retry hint in seconds (429 only).
+	RetryAfterS int
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("pixeld: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Client is a thin pixeld client speaking the /v1 wire types. The zero
+// value is not usable; construct with NewClient. Methods return
+// *HTTPError for non-2xx responses.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the pixeld instance at baseURL (e.g.
+// "http://localhost:8080"). hc may be nil for http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// do issues one request and decodes the response into out (skipped
+// when out is nil). Non-2xx responses decode the error envelope.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encode request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("api: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		he := &HTTPError{Status: resp.StatusCode}
+		var env ErrorEnvelope
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&env); err == nil {
+			he.Code = env.Error.Code
+			he.Message = env.Error.Message
+			he.RetryAfterS = env.Error.RetryAfterS
+		} else {
+			he.Code = "unknown"
+			he.Message = resp.Status
+		}
+		return he
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decode response: %w", err)
+	}
+	return nil
+}
+
+// Evaluate prices one design point of one network.
+func (c *Client) Evaluate(ctx context.Context, req EvaluateRequest) (Result, error) {
+	var out Result
+	err := c.do(ctx, http.MethodPost, "/v1/evaluate", req, &out)
+	return out, err
+}
+
+// Sweep evaluates a design-point grid across one or more networks.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, error) {
+	var out SweepResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sweep", req, &out)
+	return out, err
+}
+
+// Map schedules a network onto a tile grid.
+func (c *Client) Map(ctx context.Context, req MapRequest) (MapResponse, error) {
+	var out MapResponse
+	err := c.do(ctx, http.MethodPost, "/v1/map", req, &out)
+	return out, err
+}
+
+// Robustness runs a Monte-Carlo variation-to-yield sweep.
+func (c *Client) Robustness(ctx context.Context, req RobustnessRequest) (RobustnessResponse, error) {
+	var out RobustnessResponse
+	err := c.do(ctx, http.MethodPost, "/v1/robustness", req, &out)
+	return out, err
+}
+
+// Infer runs a batch of images through a demo network's quantized
+// pipeline on the batched bit-serial engine.
+func (c *Client) Infer(ctx context.Context, req InferRequest) (InferResponse, error) {
+	var out InferResponse
+	err := c.do(ctx, http.MethodPost, "/v1/infer", req, &out)
+	return out, err
+}
+
+// Networks lists the cost-model CNN zoo.
+func (c *Client) Networks(ctx context.Context) ([]string, error) {
+	var out NetworksResponse
+	err := c.do(ctx, http.MethodGet, "/v1/networks", nil, &out)
+	return out.Networks, err
+}
+
+// Designs lists the MAC designs.
+func (c *Client) Designs(ctx context.Context) ([]string, error) {
+	var out DesignsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/designs", nil, &out)
+	return out.Designs, err
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	var out HealthResponse
+	return c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+}

@@ -1,0 +1,66 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the wire-shape golden fixture")
+
+// goldenPath is the pinned JSON rendering of every wire type.
+const goldenPath = "testdata/wire.golden.json"
+
+// renderGolden marshals every wire sample under its stable name with
+// deterministic ordering.
+func renderGolden(t *testing.T) []byte {
+	t.Helper()
+	samples := wireSamples()
+	names := make([]string, 0, len(samples))
+	for n := range samples {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]json.RawMessage, len(samples))
+	for _, n := range names {
+		buf, err := json.Marshal(samples[n])
+		if err != nil {
+			t.Fatalf("marshal %s: %v", n, err)
+		}
+		ordered[n] = buf
+	}
+	out, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestGoldenWireShapes is the apidiff guard: the JSON shape of every
+// /v1 wire type is pinned to testdata/wire.golden.json, so renaming,
+// retagging or removing a field fails this test until the fixture is
+// deliberately regenerated with -update-golden (an intentional,
+// reviewable wire change).
+func TestGoldenWireShapes(t *testing.T) {
+	got := renderGolden(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./api -run Golden -update-golden' after an intentional wire change)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("wire shapes changed.\n got: %s\nwant: %s\nIf intentional, regenerate with 'go test ./api -run Golden -update-golden' and review the diff.", got, want)
+	}
+}

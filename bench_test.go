@@ -10,22 +10,31 @@ package pixel_test
 // internal/server, which itself imports pixel.)
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"pixel"
 	"pixel/internal/arch"
+	"pixel/internal/bitserial"
 	"pixel/internal/cnn"
 	"pixel/internal/eval"
+	"pixel/internal/montecarlo"
 	"pixel/internal/omac"
 	"pixel/internal/optsim"
+	"pixel/internal/qnn"
 	"pixel/internal/server"
 	sweepeng "pixel/internal/sweep"
+	"pixel/internal/tensor"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -236,6 +245,152 @@ func BenchmarkServerEvaluate(b *testing.B) {
 			b.StartTimer()
 		}
 	})
+}
+
+// --- Inference-serving benchmarks: the batched bit-sliced pipeline
+// behind /v1/infer, engine-level and over HTTP. Results are recorded
+// in BENCH_serving.json.
+
+// benchInferImages builds deterministic in-range images for a demo
+// network.
+func benchInferImages(b *testing.B, network string, n int) [][]int64 {
+	b.Helper()
+	shape, err := pixel.InferNetworkShape(network)
+	if err != nil {
+		b.Fatal(err)
+	}
+	imgs := make([][]int64, n)
+	for k := range imgs {
+		img := make([]int64, shape.H*shape.W*shape.C)
+		for i := range img {
+			img[i] = int64((i*7 + k*13) % int(shape.MaxValue+1))
+		}
+		imgs[k] = img
+	}
+	return imgs
+}
+
+// seqStripesDotter adapts the word-level Stripes engine's DotProduct
+// to qnn.Dotter — the pre-batching single-image serving path, one
+// window x one filter at a time.
+type seqStripesDotter struct{ e *bitserial.FastEngine }
+
+func (s seqStripesDotter) DotProduct(a, bb []uint64) (uint64, error) {
+	v, _, err := s.e.DotProduct(a, bb)
+	return v, err
+}
+
+// BenchmarkInferLeNet compares one 64-image batched pass (the
+// /v1/infer path: RunBatch on the lane-parallel BatchedStripes engine,
+// pooled scratch, weights packed once) against 64 per-image runs of
+// the pre-batching pipeline (Model.RunContext on the word-level
+// FastEngine) — the engine-level gain micro-batching buys the serving
+// path. Both report images/sec; outputs are proven identical in
+// TestRunBatchEquivalence.
+func BenchmarkInferLeNet(b *testing.B) {
+	imgs := benchInferImages(b, "lenet", 64)
+	net, err := montecarlo.BuildNetwork("lenet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]*tensor.Tensor, len(imgs))
+	for k, img := range imgs {
+		in := tensor.New(net.Input.H, net.Input.W, net.Input.C)
+		copy(in.Data, img)
+		ins[k] = in
+	}
+	b.Run("sequential64", func(b *testing.B) {
+		fast, err := bitserial.NewFastEngine(net.Bits, net.Terms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := seqStripesDotter{fast}
+		if _, err := net.Model.RunContext(context.Background(), ins[0], d, qnn.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, in := range ins {
+				if _, err := net.Model.RunContext(context.Background(), in, d, qnn.RunOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(ins))*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+	})
+	b.Run("batch64", func(b *testing.B) {
+		if _, err := pixel.Infer(pixel.InferSpec{Network: "lenet", Images: imgs}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pixel.Infer(pixel.InferSpec{Network: "lenet", Images: imgs}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(imgs))*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+	})
+}
+
+// BenchmarkServerInfer measures /v1/infer under concurrent
+// single-image load with micro-batching on (64-image batches, 2ms
+// window): end-to-end request latency (p99 reported) and served
+// images/sec, the figures a capacity plan needs.
+func BenchmarkServerInfer(b *testing.B) {
+	srv := server.New(server.Config{
+		Engine:      pixel.NewEngine(pixel.EngineOptions{}),
+		Infer:       server.PixelInfer{},
+		BatchSize:   64,
+		BatchWindow: 2 * time.Millisecond,
+		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	img := benchInferImages(b, "lenet", 1)[0]
+	body, err := json.Marshal(map[string]any{"network": "lenet", "images": [][]int64{img}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(client *http.Client) time.Duration {
+		start := time.Now()
+		resp, err := client.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		return time.Since(start)
+	}
+	post(ts.Client()) // warm the model cache
+
+	var mu sync.Mutex
+	var lat []time.Duration
+	b.SetParallelism(8) // 8 concurrent clients per GOMAXPROCS
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		for pb.Next() {
+			d := post(client)
+			mu.Lock()
+			lat = append(lat, d)
+			mu.Unlock()
+		}
+	})
+	b.StopTimer()
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(lat[len(lat)*99/100].Microseconds())/1000, "p99-ms")
+		b.ReportMetric(float64(len(lat))/b.Elapsed().Seconds(), "images/s")
+	}
 }
 
 // --- Microbenchmarks of the simulator substrates, for profiling the

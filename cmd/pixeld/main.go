@@ -1,14 +1,19 @@
 // Command pixeld serves the PIXEL evaluation API over HTTP: single
-// design-point pricing, grid sweeps, tile-grid scheduling and
+// design-point pricing, grid sweeps, tile-grid scheduling,
 // Monte-Carlo variation-to-yield sweeps (POST /v1/robustness, capped
-// at -max-trials trials per request), backed by the concurrent
-// memoizing sweep engine with request coalescing, admission control
-// and Prometheus metrics (see internal/server and docs/SERVER.md).
+// at -max-trials trials per request) and micro-batched quantized
+// inference (POST /v1/infer; concurrent requests coalesce into
+// word-parallel engine passes of up to -batch-size images collected
+// over at most -batch-window), backed by the concurrent memoizing
+// sweep engine with request coalescing, admission control and
+// Prometheus metrics (see internal/server, docs/SERVER.md and
+// docs/SERVING.md).
 //
 // Usage:
 //
 //	pixeld -addr :8764
 //	pixeld -addr 127.0.0.1:0 -max-inflight 32 -queue-timeout 100ms -cache-size 8192
+//	pixeld -addr :8764 -batch-size 64 -batch-window 2ms
 //
 // pixeld prints "pixeld: listening on <host:port>" once the listener
 // is bound (so :0 callers can discover the port) and drains in-flight
@@ -46,6 +51,8 @@ func run(args []string, stdout *os.File) error {
 	cacheSize := fs.Int("cache-size", 0, "result-LRU capacity in entries (0 = engine default)")
 	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	maxTrials := fs.Int("max-trials", server.DefaultMaxTrials, "max Monte-Carlo trials per /v1/robustness request")
+	batchSize := fs.Int("batch-size", server.DefaultBatchSize, "image count that flushes a pending /v1/infer batch early")
+	batchWindow := fs.Duration("batch-window", server.DefaultBatchWindow, "max wait for a /v1/infer batch to fill before it executes")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +66,9 @@ func run(args []string, stdout *os.File) error {
 			spec.Workers = mcWorkers
 			return pixel.RobustnessContext(ctx, spec)
 		}),
+		Infer:          server.PixelInfer{},
+		BatchSize:      *batchSize,
+		BatchWindow:    *batchWindow,
 		MaxTrials:      *maxTrials,
 		MaxInFlight:    *maxInFlight,
 		QueueTimeout:   *queueTimeout,

@@ -1,0 +1,76 @@
+package pixel_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"pixel"
+)
+
+// TestDeprecatedWrappersMatchContextForms pins the compatibility
+// contract of the facade consolidation: every deprecated positional
+// wrapper returns exactly what its canonical ...Context counterpart
+// returns — same values and same error identity — on both success and
+// failure inputs.
+func TestDeprecatedWrappersMatchContextForms(t *testing.T) {
+	ctx := context.Background()
+	good := pixel.Point{Design: pixel.OO, Lanes: 4, Bits: 8}
+	bad := pixel.Point{Design: pixel.OO, Lanes: 4, Bits: 1000}
+
+	check := func(t *testing.T, name string, oldV, newV any, oldErr, newErr error) {
+		t.Helper()
+		if (oldErr == nil) != (newErr == nil) || (oldErr != nil && !errors.Is(oldErr, newErr) && oldErr.Error() != newErr.Error()) {
+			t.Fatalf("%s: wrapper err = %v, context form err = %v", name, oldErr, newErr)
+		}
+		if !reflect.DeepEqual(oldV, newV) {
+			t.Errorf("%s: wrapper = %+v, context form = %+v", name, oldV, newV)
+		}
+	}
+
+	for _, p := range []pixel.Point{good, bad} {
+		oldRes, oldErr := pixel.Evaluate("LeNet", p.Design, p.Lanes, p.Bits) //lint:ignore SA1019 pinning the deprecated wrapper
+		newRes, newErr := pixel.EvaluateContext(ctx, "LeNet", p)
+		check(t, "Evaluate "+p.String(), oldRes, newRes, oldErr, newErr)
+
+		oldPow, oldErr := pixel.EvaluatePower("LeNet", p.Design, p.Lanes, p.Bits) //lint:ignore SA1019 pinning the deprecated wrapper
+		newPow, newErr := pixel.PowerContext(ctx, "LeNet", p)
+		check(t, "EvaluatePower "+p.String(), oldPow, newPow, oldErr, newErr)
+
+		oldArea, oldErr := pixel.Area(p.Design, p.Lanes, p.Bits) //lint:ignore SA1019 pinning the deprecated wrapper
+		newArea, newErr := pixel.AreaContext(ctx, p)
+		check(t, "Area "+p.String(), oldArea, newArea, oldErr, newErr)
+
+		oldMap, oldErr := pixel.MapToGrid("LeNet", p.Design, p.Lanes, p.Bits, 4, 4, true) //lint:ignore SA1019 pinning the deprecated wrapper
+		newMap, newErr := pixel.MapContext(ctx, pixel.MapSpec{
+			Network: "LeNet", Point: p, Rows: 4, Cols: 4, PhotonicWeights: true,
+		})
+		check(t, "MapToGrid "+p.String(), oldMap, newMap, oldErr, newErr)
+	}
+}
+
+// TestContextFormsHonourCancellation proves every canonical entry
+// point returns the context's error without doing model work when ctx
+// is already done.
+func TestContextFormsHonourCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := pixel.Point{Design: pixel.OO, Lanes: 4, Bits: 8}
+
+	if _, err := pixel.EvaluateContext(ctx, "LeNet", p); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvaluateContext err = %v, want context.Canceled", err)
+	}
+	if _, err := pixel.PowerContext(ctx, "LeNet", p); !errors.Is(err, context.Canceled) {
+		t.Errorf("PowerContext err = %v, want context.Canceled", err)
+	}
+	if _, err := pixel.AreaContext(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("AreaContext err = %v, want context.Canceled", err)
+	}
+	if _, err := pixel.MapContext(ctx, pixel.MapSpec{Network: "LeNet", Point: p, Rows: 4, Cols: 4}); !errors.Is(err, context.Canceled) {
+		t.Errorf("MapContext err = %v, want context.Canceled", err)
+	}
+	if _, err := pixel.InferContext(ctx, pixel.InferSpec{Network: "tiny", Images: [][]int64{make([]int64, 64)}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("InferContext err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package pixel
 
 import (
+	"context"
 	"fmt"
 
 	"pixel/internal/arch"
@@ -22,10 +23,32 @@ type PowerSummary struct {
 	TotalW   float64
 }
 
-// EvaluatePower returns the power budget of a design point — the
-// positional form of Point.Power.
+// PowerContext returns the chip-level power budget of the named
+// network at design point p. It is the canonical power entry point;
+// ctx cancellation is honoured before any model work starts.
+func PowerContext(ctx context.Context, network string, p Point) (PowerSummary, error) {
+	if err := ctx.Err(); err != nil {
+		return PowerSummary{}, err
+	}
+	return p.Power(network)
+}
+
+// EvaluatePower returns the power budget of a design point.
+//
+// Deprecated: use PowerContext (or Point.Power); the positional
+// argument list predates the Point-struct API surface.
 func EvaluatePower(network string, d Design, lanes, bits int) (PowerSummary, error) {
-	return Point{Design: d, Lanes: lanes, Bits: bits}.Power(network)
+	return PowerContext(context.Background(), network, Point{Design: d, Lanes: lanes, Bits: bits})
+}
+
+// AreaContext returns the MAC-unit ensemble area [m^2] of design
+// point p. It is the canonical area entry point; ctx cancellation is
+// honoured before any model work starts.
+func AreaContext(ctx context.Context, p Point) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return p.Area()
 }
 
 // ScheduleSummary is a tile-grid mapping of a network (see
@@ -44,11 +67,44 @@ type ScheduleSummary struct {
 	Utilization float64
 }
 
+// MapSpec describes one tile-grid scheduling request for MapContext.
+type MapSpec struct {
+	// Network names the CNN to schedule (see Networks).
+	Network string
+	// Point is the design point each tile is built from.
+	Point Point
+	// Rows and Cols shape the tile grid.
+	Rows, Cols int
+	// PhotonicWeights streams weight preloads over the photonic
+	// interconnect instead of the electrical one.
+	PhotonicWeights bool
+}
+
+// MapContext schedules spec.Network onto a spec.Rows x spec.Cols tile
+// grid at spec.Point. It is the canonical mapping entry point; ctx
+// cancellation is honoured before any model work starts. Unusable grid
+// shapes surface ErrBadGrid.
+func MapContext(ctx context.Context, spec MapSpec) (ScheduleSummary, error) {
+	if err := ctx.Err(); err != nil {
+		return ScheduleSummary{}, err
+	}
+	return spec.Point.MapToGrid(spec.Network, spec.Rows, spec.Cols, spec.PhotonicWeights)
+}
+
 // MapToGrid schedules a network onto a rows x cols tile grid with the
 // given design point, using photonic weight streaming when
-// photonicWeights is set — the positional form of Point.MapToGrid.
+// photonicWeights is set.
+//
+// Deprecated: use MapContext (or Point.MapToGrid); the positional
+// argument list predates the MapSpec API surface.
 func MapToGrid(network string, d Design, lanes, bits, rows, cols int, photonicWeights bool) (ScheduleSummary, error) {
-	return Point{Design: d, Lanes: lanes, Bits: bits}.MapToGrid(network, rows, cols, photonicWeights)
+	return MapContext(context.Background(), MapSpec{
+		Network:         network,
+		Point:           Point{Design: d, Lanes: lanes, Bits: bits},
+		Rows:            rows,
+		Cols:            cols,
+		PhotonicWeights: photonicWeights,
+	})
 }
 
 // Ablations re-runs the six-CNN evaluation under each calibration

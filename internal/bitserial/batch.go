@@ -1,0 +1,470 @@
+package bitserial
+
+import (
+	"fmt"
+	"sync"
+)
+
+// groupLanes is how many windows one transposed group carries in
+// lockstep — the software dual of the paper's wavelength parallelism
+// (one dot product per λ lane per pulse). 64 lanes keep a group's
+// column store inside L2 for LeNet-sized windows.
+const groupLanes = 64
+
+// BatchedStripes executes many Stripes dot products per call,
+// word-parallel across the batch. Windows are transposed into a
+// lane-major column store — for each element position, one contiguous
+// run of the batch's values at that position — so each synapse weight
+// of the shared filter updates every lane of the group in one
+// multiply-accumulate sweep over a hot cache line, with operand
+// validation hoisted into the transpose instead of paid per
+// (window, filter) pair. The lanes accumulate in full 64-bit words and
+// are reduced by the accumulator mask once per dot product; because
+// reduction mod 2^accWidth is a ring homomorphism from arithmetic mod
+// 2^64, that single reduction lands on exactly the value the
+// sequential engine's per-element wrap produces — the same
+// collapse-the-bit-serial-loop move NewFastEngine makes against the
+// gate-level engine, one level up. Results (values and Stats) are
+// bit-identical to running each window through FastEngine
+// sequentially; TestBatchedStripesEquivalence pins the two together.
+//
+// The per-call setup (transpose and validation) is hoisted once per
+// 64-window group and reused across every filter of a DotProductsMulti
+// call — the hoisted-setup idiom that makes batched conv layers pay it
+// once per group rather than once per (window, filter) pair.
+//
+// A BatchedStripes is safe for concurrent use: per-call scratch comes
+// from an internal pool.
+type BatchedStripes struct {
+	fe      *FastEngine
+	scratch sync.Pool // *batchScratch
+}
+
+// batchScratch is the pooled per-call working set: the lane-major
+// column store and four filter accumulator rows (filters are swept
+// four at a time so each column load feeds four independent
+// accumulate chains).
+type batchScratch struct {
+	cols []uint64 // [element*groupLanes + lane]
+	acc  []uint64 // [lane], filter f
+	acc2 []uint64 // [lane], filter f+1
+	acc3 []uint64 // [lane], filter f+2
+	acc4 []uint64 // [lane], filter f+3
+}
+
+// NewBatchedStripes returns a batched engine with the same operand and
+// accumulator geometry as NewFastEngine(bits, terms).
+func NewBatchedStripes(bits, terms int) (*BatchedStripes, error) {
+	fe, err := NewFastEngine(bits, terms)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchedStripes{fe: fe}, nil
+}
+
+// Bits returns the operand precision.
+func (b *BatchedStripes) Bits() int { return b.fe.bits }
+
+// AccumulatorWidth returns the accumulator width in bits.
+func (b *BatchedStripes) AccumulatorWidth() int { return b.fe.accWidth }
+
+// Fast returns the equivalent sequential engine — the ground truth the
+// batched path is verified against, and the fallback for single calls.
+func (b *BatchedStripes) Fast() *FastEngine { return b.fe }
+
+// DotProduct computes one dot product through the sequential engine —
+// the qnn.Dotter form for unbatched callers.
+func (b *BatchedStripes) DotProduct(neurons, synapses []uint64) (uint64, error) {
+	v, _, err := b.fe.DotProduct(neurons, synapses)
+	return v, err
+}
+
+// DotProducts writes the dot product of each window against weights
+// into out — the qnn.BatchDotter form of DotBatch.
+func (b *BatchedStripes) DotProducts(windows [][]uint64, weights []uint64, out []uint64) error {
+	_, err := b.DotBatch(windows, weights, out)
+	return err
+}
+
+// DotProductsMulti evaluates every filter against every window,
+// writing outs[f][w] — the qnn.MultiDotter form of FilterBatch. The
+// window transpose is shared across all filters.
+func (b *BatchedStripes) DotProductsMulti(windows [][]uint64, filters [][]uint64, outs [][]uint64) error {
+	_, err := b.FilterBatch(windows, filters, outs)
+	return err
+}
+
+// DotBatch computes windows[w] · weights for every w, writing out[w].
+// The value and the accumulated Stats are bit-identical to len(windows)
+// sequential FastEngine.DotProduct calls.
+func (b *BatchedStripes) DotBatch(windows [][]uint64, weights []uint64, out []uint64) (Stats, error) {
+	if len(out) != len(windows) {
+		return Stats{}, fmt.Errorf("bitserial: out length %d != %d windows", len(out), len(windows))
+	}
+	return b.FilterBatch(windows, [][]uint64{weights}, [][]uint64{out})
+}
+
+// FilterBatch computes outs[f][w] = windows[w] · filters[f] for every
+// (filter, window) pair, transposing each 64-window group into bit
+// planes once and sweeping all filters over it. Values and Stats are
+// bit-identical to the sequential per-pair FastEngine calls.
+func (b *BatchedStripes) FilterBatch(windows [][]uint64, filters [][]uint64, outs [][]uint64) (Stats, error) {
+	if len(outs) != len(filters) {
+		return Stats{}, fmt.Errorf("bitserial: %d output rows != %d filters", len(outs), len(filters))
+	}
+	for f, o := range outs {
+		if len(o) != len(windows) {
+			return Stats{}, fmt.Errorf("bitserial: output row %d length %d != %d windows", f, len(o), len(windows))
+		}
+	}
+	n := -1
+	for w, win := range windows {
+		if n < 0 {
+			n = len(win)
+		} else if len(win) != n {
+			return Stats{}, fmt.Errorf("bitserial: window %d length %d != %d", w, len(win), n)
+		}
+	}
+	for f, filter := range filters {
+		if n >= 0 && len(filter) != n {
+			return Stats{}, fmt.Errorf("bitserial: vector lengths differ (%d vs %d)", n, len(filter))
+		}
+		for _, v := range filter {
+			if err := b.fe.checkOperand("synapse", v); err != nil {
+				return Stats{}, fmt.Errorf("bitserial: filter %d: %w", f, err)
+			}
+		}
+	}
+	if len(windows) == 0 || len(filters) == 0 {
+		return Stats{}, nil
+	}
+
+	sc := b.getScratch(n)
+	defer b.scratch.Put(sc)
+	// Bit-slice two lanes per machine word when the accumulator fits a
+	// 32-bit half AND the true (unwrapped) low-half sum can never carry
+	// into the high half: every per-word operation then performs two
+	// lane MACs. maxProd bounds one product; n*maxProd bounds the sum.
+	maxProd := ((uint64(1) << b.fe.bits) - 1) * ((uint64(1) << b.fe.bits) - 1)
+	packed := b.fe.accWidth <= 32 && maxProd > 0 && uint64(n) <= (1<<32-1)/maxProd
+	for start := 0; start < len(windows); start += groupLanes {
+		end := start + groupLanes
+		if end > len(windows) {
+			end = len(windows)
+		}
+		var err error
+		if packed {
+			err = b.groupPacked(windows[start:end], filters, outs, start, sc)
+		} else {
+			err = b.group(windows[start:end], filters, outs, start, sc)
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+	}
+
+	// The closed-form work record of one FastEngine.DotProduct, times
+	// every (window, filter) pair the batch stands in for.
+	pairs := len(windows) * len(filters)
+	st := b.fe.multiplyStats()
+	st.Adds++
+	return Stats{
+		Cycles:  pairs * n * st.Cycles,
+		BitANDs: pairs * n * st.BitANDs,
+		Adds:    pairs * n * st.Adds,
+		Shifts:  pairs * n * st.Shifts,
+	}, nil
+}
+
+// getScratch returns pooled scratch sized for n-element windows.
+func (b *BatchedStripes) getScratch(n int) *batchScratch {
+	if n < 0 {
+		n = 0
+	}
+	need := n * groupLanes
+	sc, _ := b.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{
+			acc:  make([]uint64, groupLanes),
+			acc2: make([]uint64, groupLanes),
+			acc3: make([]uint64, groupLanes),
+			acc4: make([]uint64, groupLanes),
+		}
+	}
+	if cap(sc.cols) < need {
+		sc.cols = make([]uint64, need)
+	}
+	sc.cols = sc.cols[:need]
+	return sc
+}
+
+// group runs one <=64-window group: transpose into the lane-major
+// column store, then sweep every filter over it in pairs.
+func (b *BatchedStripes) group(group [][]uint64, filters [][]uint64, outs [][]uint64, offset int, sc *batchScratch) error {
+	n := len(group[0])
+	lanes := len(group)
+	cols := sc.cols[:n*lanes]
+	// Transpose: cols[i*lanes+w] is window w's value at element i, so
+	// one element's batch values are contiguous. Operand validation
+	// happens here, once per window element — not per filter.
+	for w, win := range group {
+		for i, v := range win {
+			if err := b.fe.checkOperand("neuron", v); err != nil {
+				return fmt.Errorf("bitserial: window %d: %w", offset+w, err)
+			}
+			cols[i*lanes+w] = v
+		}
+	}
+
+	accMask := b.fe.accMask
+	acc := sc.acc[:lanes]
+	acc2 := sc.acc2[:lanes]
+	acc3 := sc.acc3[:lanes]
+	acc4 := sc.acc4[:lanes]
+	// Filters go four at a time so each column load feeds four
+	// independent multiply-accumulate chains. Lanes accumulate mod
+	// 2^64 and reduce by accMask once at the end; reduction mod
+	// 2^accWidth is a ring homomorphism, so this equals the sequential
+	// engine's per-element wrap exactly.
+	f := 0
+	for ; f+3 < len(filters); f += 4 {
+		fl, fl2, fl3, fl4 := filters[f], filters[f+1], filters[f+2], filters[f+3]
+		for w := range acc {
+			acc[w] = 0
+			acc2[w] = 0
+			acc3[w] = 0
+			acc4[w] = 0
+		}
+		// Elements go two at a time as well, so each accumulator
+		// load/store is shared by eight multiplies — the sweep is
+		// memory-bound, and this halves accumulator traffic per MAC.
+		i := 0
+		for ; i+1 < n; i += 2 {
+			wtA1, wtA2, wtA3, wtA4 := fl[i], fl2[i], fl3[i], fl4[i]
+			wtB1, wtB2, wtB3, wtB4 := fl[i+1], fl2[i+1], fl3[i+1], fl4[i+1]
+			if wtA1|wtA2|wtA3|wtA4|wtB1|wtB2|wtB3|wtB4 == 0 {
+				continue // zero synapses contribute nothing in any chain
+			}
+			colA := cols[i*lanes : i*lanes+lanes : i*lanes+lanes]
+			colB := cols[(i+1)*lanes : (i+1)*lanes+lanes : (i+1)*lanes+lanes]
+			_ = colA[len(acc)-1]
+			_ = colB[len(acc)-1]
+			for w := range acc {
+				ca, cb := colA[w], colB[w]
+				acc[w] += ca*wtA1 + cb*wtB1
+				acc2[w] += ca*wtA2 + cb*wtB2
+				acc3[w] += ca*wtA3 + cb*wtB3
+				acc4[w] += ca*wtA4 + cb*wtB4
+			}
+		}
+		for ; i < n; i++ {
+			wt, wt2, wt3, wt4 := fl[i], fl2[i], fl3[i], fl4[i]
+			if wt|wt2|wt3|wt4 == 0 {
+				continue
+			}
+			col := cols[i*lanes : i*lanes+lanes : i*lanes+lanes]
+			_ = col[len(acc)-1]
+			for w := range acc {
+				cv := col[w]
+				acc[w] += cv * wt
+				acc2[w] += cv * wt2
+				acc3[w] += cv * wt3
+				acc4[w] += cv * wt4
+			}
+		}
+		o, o2, o3, o4 := outs[f], outs[f+1], outs[f+2], outs[f+3]
+		for w := range acc {
+			o[offset+w] = acc[w] & accMask
+			o2[offset+w] = acc2[w] & accMask
+			o3[offset+w] = acc3[w] & accMask
+			o4[offset+w] = acc4[w] & accMask
+		}
+	}
+	for ; f+1 < len(filters); f += 2 {
+		fl, fl2 := filters[f], filters[f+1]
+		for w := range acc {
+			acc[w] = 0
+			acc2[w] = 0
+		}
+		for i := 0; i < n; i++ {
+			wt, wt2 := fl[i], fl2[i]
+			if wt == 0 && wt2 == 0 {
+				continue // zero synapses contribute nothing in either chain
+			}
+			col := cols[i*lanes : i*lanes+lanes : i*lanes+lanes]
+			_ = col[len(acc)-1]
+			for w := range acc {
+				cv := col[w]
+				acc[w] += cv * wt
+				acc2[w] += cv * wt2
+			}
+		}
+		o, o2 := outs[f], outs[f+1]
+		for w := range acc {
+			o[offset+w] = acc[w] & accMask
+			o2[offset+w] = acc2[w] & accMask
+		}
+	}
+	for ; f < len(filters); f++ {
+		fl := filters[f]
+		for w := range acc {
+			acc[w] = 0
+		}
+		for i := 0; i < n; i++ {
+			wt := fl[i]
+			if wt == 0 {
+				continue
+			}
+			col := cols[i*lanes : i*lanes+lanes : i*lanes+lanes]
+			_ = col[len(acc)-1]
+			for w := range acc {
+				acc[w] += col[w] * wt
+			}
+		}
+		o := outs[f]
+		for w := range acc {
+			o[offset+w] = acc[w] & accMask
+		}
+	}
+	return nil
+}
+
+// groupPacked is group with two lanes bit-sliced into each machine
+// word: window 2j rides the low 32 bits of word j and window 2j+1 the
+// high 32, so every multiply-accumulate performs two lane MACs — the
+// software dual of packing two λ channels onto one waveguide. The
+// caller guarantees (a) accWidth <= 32, so each half reduces by
+// accMask independently, and (b) n * maxProduct < 2^32, so the true
+// low-half sum never carries into the high half; under those bounds
+// v*wt distributes over the packed halves exactly and each half
+// accumulates mod 2^32, which the final per-half accMask reduction
+// collapses to the sequential engine's value (same ring-homomorphism
+// argument as group, per half).
+func (b *BatchedStripes) groupPacked(group [][]uint64, filters [][]uint64, outs [][]uint64, offset int, sc *batchScratch) error {
+	n := len(group[0])
+	lanes := len(group)
+	words := (lanes + 1) / 2
+	cols := sc.cols[:n*words]
+	// Transpose and pack: even windows assign the whole word (clearing
+	// the high half — an odd trailing lane leaves it zero), odd windows
+	// OR into the high half of the word their predecessor wrote.
+	for w, win := range group {
+		word, shift := w>>1, uint(w&1)*32
+		for i, v := range win {
+			if err := b.fe.checkOperand("neuron", v); err != nil {
+				return fmt.Errorf("bitserial: window %d: %w", offset+w, err)
+			}
+			if shift == 0 {
+				cols[i*words+word] = v
+			} else {
+				cols[i*words+word] |= v << 32
+			}
+		}
+	}
+
+	accMask := b.fe.accMask
+	acc := sc.acc[:words]
+	acc2 := sc.acc2[:words]
+	acc3 := sc.acc3[:words]
+	acc4 := sc.acc4[:words]
+	f := 0
+	for ; f+3 < len(filters); f += 4 {
+		fl, fl2, fl3, fl4 := filters[f], filters[f+1], filters[f+2], filters[f+3]
+		for w := range acc {
+			acc[w] = 0
+			acc2[w] = 0
+			acc3[w] = 0
+			acc4[w] = 0
+		}
+		i := 0
+		for ; i+1 < n; i += 2 {
+			wtA1, wtA2, wtA3, wtA4 := fl[i], fl2[i], fl3[i], fl4[i]
+			wtB1, wtB2, wtB3, wtB4 := fl[i+1], fl2[i+1], fl3[i+1], fl4[i+1]
+			if wtA1|wtA2|wtA3|wtA4|wtB1|wtB2|wtB3|wtB4 == 0 {
+				continue // zero synapses contribute nothing in any chain
+			}
+			colA := cols[i*words : i*words+words : i*words+words]
+			colB := cols[(i+1)*words : (i+1)*words+words : (i+1)*words+words]
+			_ = colA[len(acc)-1]
+			_ = colB[len(acc)-1]
+			for w := range acc {
+				ca, cb := colA[w], colB[w]
+				acc[w] += ca*wtA1 + cb*wtB1
+				acc2[w] += ca*wtA2 + cb*wtB2
+				acc3[w] += ca*wtA3 + cb*wtB3
+				acc4[w] += ca*wtA4 + cb*wtB4
+			}
+		}
+		for ; i < n; i++ {
+			wt, wt2, wt3, wt4 := fl[i], fl2[i], fl3[i], fl4[i]
+			if wt|wt2|wt3|wt4 == 0 {
+				continue
+			}
+			col := cols[i*words : i*words+words : i*words+words]
+			_ = col[len(acc)-1]
+			for w := range acc {
+				cv := col[w]
+				acc[w] += cv * wt
+				acc2[w] += cv * wt2
+				acc3[w] += cv * wt3
+				acc4[w] += cv * wt4
+			}
+		}
+		unpackPacked(outs[f], acc, offset, lanes, accMask)
+		unpackPacked(outs[f+1], acc2, offset, lanes, accMask)
+		unpackPacked(outs[f+2], acc3, offset, lanes, accMask)
+		unpackPacked(outs[f+3], acc4, offset, lanes, accMask)
+	}
+	for ; f+1 < len(filters); f += 2 {
+		fl, fl2 := filters[f], filters[f+1]
+		for w := range acc {
+			acc[w] = 0
+			acc2[w] = 0
+		}
+		for i := 0; i < n; i++ {
+			wt, wt2 := fl[i], fl2[i]
+			if wt == 0 && wt2 == 0 {
+				continue
+			}
+			col := cols[i*words : i*words+words : i*words+words]
+			_ = col[len(acc)-1]
+			for w := range acc {
+				cv := col[w]
+				acc[w] += cv * wt
+				acc2[w] += cv * wt2
+			}
+		}
+		unpackPacked(outs[f], acc, offset, lanes, accMask)
+		unpackPacked(outs[f+1], acc2, offset, lanes, accMask)
+	}
+	for ; f < len(filters); f++ {
+		fl := filters[f]
+		for w := range acc {
+			acc[w] = 0
+		}
+		for i := 0; i < n; i++ {
+			wt := fl[i]
+			if wt == 0 {
+				continue
+			}
+			col := cols[i*words : i*words+words : i*words+words]
+			_ = col[len(acc)-1]
+			for w := range acc {
+				acc[w] += col[w] * wt
+			}
+		}
+		unpackPacked(outs[f], acc, offset, lanes, accMask)
+	}
+	return nil
+}
+
+// unpackPacked splits each packed accumulator word back into its two
+// lanes, reducing each 32-bit half by the accumulator mask.
+func unpackPacked(o []uint64, acc []uint64, offset, lanes int, accMask uint64) {
+	for j, a := range acc {
+		o[offset+2*j] = a & 0xffffffff & accMask
+		if 2*j+1 < lanes {
+			o[offset+2*j+1] = (a >> 32) & accMask
+		}
+	}
+}

@@ -53,6 +53,73 @@ func BenchmarkFastDotProduct16x8Bit(b *testing.B) {
 	}
 }
 
+// benchBatch builds a LeNet-conv2-shaped workload: 64 windows of 150
+// elements against 16 filters at 4-bit precision.
+func benchBatch(b *testing.B) (*BatchedStripes, [][]uint64, [][]uint64, [][]uint64) {
+	b.Helper()
+	be, err := NewBatchedStripes(4, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n, batch, filters = 150, 64, 16
+	windows := make([][]uint64, batch)
+	for w := range windows {
+		win := make([]uint64, n)
+		for i := range win {
+			win[i] = uint64(w*31+i*7) & 15
+		}
+		windows[w] = win
+	}
+	fs := make([][]uint64, filters)
+	for f := range fs {
+		fl := make([]uint64, n)
+		for i := range fl {
+			fl[i] = uint64(f*17+i*13) & 15
+		}
+		fs[f] = fl
+	}
+	outs := make([][]uint64, filters)
+	for f := range outs {
+		outs[f] = make([]uint64, batch)
+	}
+	return be, windows, fs, outs
+}
+
+// BenchmarkFilterBatch64x16 is the batched engine on a LeNet-conv2
+// shape: 64 windows x 16 filters x 150 elements per call.
+func BenchmarkFilterBatch64x16(b *testing.B) {
+	be, windows, fs, outs := benchBatch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := be.FilterBatch(windows, fs, outs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(windows)*len(fs)*len(windows[0]))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmac/s")
+}
+
+// BenchmarkSequential64x16 is the same workload through per-pair
+// FastEngine calls — the baseline FilterBatch must beat.
+func BenchmarkSequential64x16(b *testing.B) {
+	be, windows, fs, outs := benchBatch(b)
+	fe := be.Fast()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for f, fl := range fs {
+			for w, win := range windows {
+				v, _, err := fe.DotProduct(win, fl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				outs[f][w] = v
+			}
+		}
+	}
+	b.ReportMetric(float64(len(windows)*len(fs)*len(windows[0]))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmac/s")
+}
+
 func BenchmarkSignedDotProduct(b *testing.B) {
 	e, err := NewSignedEngine(8, 16)
 	if err != nil {

@@ -42,6 +42,37 @@ func (ReferenceDotter) DotProducts(windows [][]uint64, weights []uint64, out []u
 	return nil
 }
 
+// MultiDotter is the layer-against-batch MAC abstraction: every filter
+// of a layer evaluated against every window of a batch in one call, so
+// the engine can hoist per-batch setup (transposes, validation) across
+// the whole filter sweep. bitserial.BatchedStripes implements it;
+// everything else is adapted via dotMulti.
+type MultiDotter interface {
+	BatchDotter
+	// DotProductsMulti writes windows[w] · filters[f] into outs[f][w].
+	// len(outs) must equal len(filters) and each row must have
+	// len(windows) slots.
+	DotProductsMulti(windows [][]uint64, filters [][]uint64, outs [][]uint64) error
+}
+
+// dotMulti evaluates every filter against every window, through the
+// engine's multi-filter entry point when it has one and per-filter
+// dotBatch sweeps otherwise.
+func dotMulti(d Dotter, windows [][]uint64, filters [][]uint64, outs [][]uint64) error {
+	if md, ok := d.(MultiDotter); ok {
+		return md.DotProductsMulti(windows, filters, outs)
+	}
+	if len(outs) != len(filters) {
+		return fmt.Errorf("qnn: %d output rows != %d filters", len(outs), len(filters))
+	}
+	for f := range filters {
+		if err := dotBatch(d, windows, filters[f], outs[f]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // dotBatch evaluates weights against every window, through the
 // engine's batched entry point when it has one and per-window
 // DotProduct calls otherwise.

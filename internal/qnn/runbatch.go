@@ -1,0 +1,236 @@
+package qnn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pixel/internal/tensor"
+)
+
+// batchLayer is the optional layer interface the batched pipeline uses:
+// MAC layers that can amortize per-layer work (weight packing, im2col
+// scratch) across a whole batch of inputs implement it; other layers
+// run their serial Apply per input.
+type batchLayer interface {
+	applyBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, workers int) ([]*tensor.Tensor, error)
+}
+
+// RunBatch executes the model on a batch of same-shape inputs,
+// bit-identical to len(ins) sequential RunContext calls at any worker
+// count. Conv layers pack filter weights once for the whole batch and
+// fan per-image im2col + MAC work across the pool; fully-connected
+// layers pack the weight matrix once and sweep it against all inputs
+// word-parallel. Per-image scratch (im2col patch matrices, operand
+// buffers) comes from a shared pool, so steady-state batches do not
+// allocate on the MAC hot path.
+func (m *Model) RunBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, opts RunOptions) ([]*tensor.Tensor, error) {
+	if m.ActivationBits < 1 || m.ActivationBits > 16 {
+		return nil, fmt.Errorf("qnn: activation bits %d out of range [1,16]", m.ActivationBits)
+	}
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("qnn: empty batch")
+	}
+	for b, in := range ins {
+		if in == nil {
+			return nil, fmt.Errorf("qnn: batch input %d is nil", b)
+		}
+		if in.H != ins[0].H || in.W != ins[0].W || in.C != ins[0].C {
+			return nil, fmt.Errorf("qnn: batch input %d shape %dx%dx%d != %dx%dx%d",
+				b, in.H, in.W, in.C, ins[0].H, ins[0].W, ins[0].C)
+		}
+	}
+	xs := make([]*tensor.Tensor, len(ins))
+	copy(xs, ins)
+	var err error
+	for _, l := range m.Layers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if bl, ok := l.(batchLayer); ok {
+			xs, err = bl.applyBatch(ctx, xs, d, opts.Workers)
+		} else {
+			for b := range xs {
+				xs[b], err = l.Apply(xs[b], d)
+				if err != nil {
+					err = fmt.Errorf("input %d: %w", b, err)
+					break
+				}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("qnn: %s: layer %s: %w", m.Label, l.Name(), err)
+		}
+	}
+	return xs, nil
+}
+
+// runScratch is the pooled per-image (conv) / per-call (fc) working
+// set: the im2col patch matrix, the activation operands as engine
+// words, window headers into them, and the engine's output rows.
+type runScratch struct {
+	pm      tensor.PatchMatrix
+	u64     []uint64
+	windows [][]uint64
+	out     []uint64
+	outHdrs [][]uint64
+}
+
+var runScratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// growRows carves flat (cap-grown to rows*cols) into per-row headers
+// in hdrs, returning the header slice; both backing stores live in the
+// pooled scratch, so steady-state calls reuse them.
+func growRows(flat *[]uint64, hdrs *[][]uint64, rows, cols int) [][]uint64 {
+	if cap(*flat) < rows*cols {
+		*flat = make([]uint64, rows*cols)
+	}
+	*flat = (*flat)[:rows*cols]
+	if cap(*hdrs) < rows {
+		*hdrs = make([][]uint64, rows)
+	}
+	*hdrs = (*hdrs)[:rows]
+	for i := range *hdrs {
+		(*hdrs)[i] = (*flat)[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return *hdrs
+}
+
+// packFilters converts a layer's weight matrix to engine operands once
+// per batch, validating non-negativity — the per-layer packing every
+// image in the batch reuses.
+func packFilters(weights []int64, rows, cols int, label string) ([][]uint64, error) {
+	flat := make([]uint64, rows*cols)
+	hdrs := make([][]uint64, rows)
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("qnn: negative weight %d in %s", w, label)
+		}
+		flat[i] = uint64(w)
+	}
+	for m := range hdrs {
+		hdrs[m] = flat[m*cols : (m+1)*cols : (m+1)*cols]
+	}
+	return hdrs, nil
+}
+
+// applyBatch implements batchLayer for Conv: filters are packed once
+// for the whole batch, then each input's im2col lowering and filter
+// sweep is one work item on the pool, running on pooled scratch and
+// writing its own output tensor — bit-identical to per-image applyCtx.
+func (c *Conv) applyBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, workers int) ([]*tensor.Tensor, error) {
+	k := c.Kernel
+	in0 := ins[0]
+	if in0.C != k.C {
+		return nil, fmt.Errorf("qnn: input channels %d != kernel channels %d", in0.C, k.C)
+	}
+	if c.Stride < 1 {
+		return nil, fmt.Errorf("qnn: stride %d", c.Stride)
+	}
+	if c.Pad < 0 {
+		return nil, fmt.Errorf("qnn: pad %d", c.Pad)
+	}
+	eh := (in0.H+2*c.Pad-k.R)/c.Stride + 1
+	ew := (in0.W+2*c.Pad-k.R)/c.Stride + 1
+	if eh < 1 || ew < 1 {
+		return nil, fmt.Errorf("qnn: kernel %d too large for %dx%d input with pad %d", k.R, in0.H, in0.W, c.Pad)
+	}
+	cols := k.R * k.R * k.C
+	filters, err := packFilters(k.Data, k.M, cols, c.Label)
+	if err != nil {
+		return nil, err
+	}
+
+	outs := make([]*tensor.Tensor, len(ins))
+	err = parallelFor(ctx, len(ins), workers, func(_, b int) error {
+		in := ins[b]
+		for i, v := range in.Data {
+			if v < 0 {
+				return fmt.Errorf("qnn: input %d: negative activation %d at (%d,%d,%d)",
+					b, v, i/(in.W*in.C), (i/in.C)%in.W, i%in.C)
+			}
+		}
+		sc := runScratchPool.Get().(*runScratch)
+		defer runScratchPool.Put(sc)
+		if err := tensor.LowerInto(&sc.pm, in, k.R, c.Stride, c.Pad); err != nil {
+			return fmt.Errorf("qnn: input %d: %w", b, err)
+		}
+		p := &sc.pm
+		windows := growRows(&sc.u64, &sc.windows, p.Rows, p.Cols)
+		for i, v := range p.Data {
+			sc.u64[i] = uint64(v)
+		}
+		outRows := growRows(&sc.out, &sc.outHdrs, k.M, p.Rows)
+		if err := dotMulti(d, windows, filters, outRows); err != nil {
+			return fmt.Errorf("input %d: %w", b, err)
+		}
+		out := tensor.New(p.EH, p.EW, k.M)
+		for m := 0; m < k.M; m++ {
+			row := outRows[m]
+			for pos, v := range row {
+				out.Data[pos*k.M+m] = int64(v)
+			}
+		}
+		outs[b] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// applyBatch implements batchLayer for FullyConnected: the weight
+// matrix is packed once, all inputs become the window batch, and
+// output-neuron chunks fan across the pool, each sweeping its filters
+// against every input word-parallel.
+func (f *FullyConnected) applyBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, workers int) ([]*tensor.Tensor, error) {
+	n := ins[0].Len()
+	if f.Out < 1 {
+		return nil, fmt.Errorf("qnn: output size %d", f.Out)
+	}
+	if len(f.Weights) != n*f.Out {
+		return nil, fmt.Errorf("qnn: weight matrix %d != %d x %d", len(f.Weights), f.Out, n)
+	}
+	filters, err := packFilters(f.Weights, f.Out, n, f.Label)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := runScratchPool.Get().(*runScratch)
+	defer runScratchPool.Put(sc)
+	windows := growRows(&sc.u64, &sc.windows, len(ins), n)
+	for b, in := range ins {
+		dst := windows[b]
+		for i, v := range in.Data {
+			if v < 0 {
+				return nil, fmt.Errorf("qnn: input %d: negative activation %d", b, v)
+			}
+			dst[i] = uint64(v)
+		}
+	}
+	outRows := growRows(&sc.out, &sc.outHdrs, f.Out, len(ins))
+
+	// Chunk output neurons contiguously across the pool; the chunk
+	// boundaries vary with the worker count but every (neuron, input)
+	// product is the same call either way, so results are placement-
+	// deterministic and bit-identical.
+	chunks := clampWorkers(workers, f.Out)
+	err = parallelFor(ctx, chunks, workers, func(_, ci int) error {
+		lo := ci * f.Out / chunks
+		hi := (ci + 1) * f.Out / chunks
+		return dotMulti(d, windows, filters[lo:hi], outRows[lo:hi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, len(ins))
+	for b := range ins {
+		out := tensor.New(1, 1, f.Out)
+		for o := 0; o < f.Out; o++ {
+			out.Data[o] = int64(outRows[o][b])
+		}
+		outs[b] = out
+	}
+	return outs, nil
+}

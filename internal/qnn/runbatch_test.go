@@ -1,0 +1,183 @@
+package qnn
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pixel/internal/bitserial"
+	"pixel/internal/tensor"
+)
+
+// multiDotter adapts BatchedStripes (whose qnn-shaped methods satisfy
+// Dotter/BatchDotter/MultiDotter structurally) without importing qnn
+// types into bitserial.
+type multiDotter struct{ e *bitserial.BatchedStripes }
+
+func (m multiDotter) DotProduct(a, b []uint64) (uint64, error) { return m.e.DotProduct(a, b) }
+func (m multiDotter) DotProducts(w [][]uint64, ws []uint64, out []uint64) error {
+	return m.e.DotProducts(w, ws, out)
+}
+func (m multiDotter) DotProductsMulti(w, fs [][]uint64, outs [][]uint64) error {
+	return m.e.DotProductsMulti(w, fs, outs)
+}
+
+var _ MultiDotter = multiDotter{}
+
+// TestRunBatchEquivalence is the pipeline-level acceptance property:
+// RunBatch over B inputs is bit-identical to B sequential Run calls,
+// for every engine tier (the plain-Dotter fallback, the BatchDotter
+// fallback and the MultiDotter fast path) and any worker count.
+func TestRunBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, in0 := DemoLeNet(rng)
+
+	fe, err := bitserial.NewFastEngine(DemoLeNetBits, DemoLeNetTerms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := bitserial.NewBatchedStripes(DemoLeNetBits, DemoLeNetTerms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		d    Dotter
+	}{
+		{"reference", ReferenceDotter{}},
+		{"fast", fastDotter{fe}},
+		{"batched", multiDotter{be}},
+	}
+
+	for _, batch := range []int{1, 3, 8} {
+		ins := make([]*tensor.Tensor, batch)
+		for b := range ins {
+			in := tensor.New(in0.H, in0.W, in0.C)
+			for i := range in.Data {
+				in.Data[i] = rng.Int63n(16)
+			}
+			ins[b] = in
+		}
+		want := make([]*tensor.Tensor, batch)
+		for b := range ins {
+			out, err := m.Run(ins[b], ReferenceDotter{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[b] = out
+		}
+		for _, eng := range engines {
+			for _, workers := range []int{1, 3, 0} {
+				t.Run(fmt.Sprintf("B%d/%s/workers%d", batch, eng.name, workers), func(t *testing.T) {
+					got, err := m.RunBatch(context.Background(), ins, eng.d, RunOptions{Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != batch {
+						t.Fatalf("got %d outputs, want %d", len(got), batch)
+					}
+					for b := range got {
+						if got[b].H != want[b].H || got[b].W != want[b].W || got[b].C != want[b].C {
+							t.Fatalf("input %d: shape %dx%dx%d, want %dx%dx%d",
+								b, got[b].H, got[b].W, got[b].C, want[b].H, want[b].W, want[b].C)
+						}
+						for i, v := range got[b].Data {
+							if v != want[b].Data[i] {
+								t.Fatalf("input %d: element %d = %d, want %d", b, i, v, want[b].Data[i])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunBatchErrors covers batch-level validation: empty batches,
+// shape mismatches, nil entries and negative activations (reported for
+// the right input).
+func TestRunBatchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, in := DemoLeNet(rng)
+	ctx := context.Background()
+
+	if _, err := m.RunBatch(ctx, nil, ReferenceDotter{}, RunOptions{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := m.RunBatch(ctx, []*tensor.Tensor{in, nil}, ReferenceDotter{}, RunOptions{}); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	odd := tensor.New(in.H+1, in.W, in.C)
+	if _, err := m.RunBatch(ctx, []*tensor.Tensor{in, odd}, ReferenceDotter{}, RunOptions{}); err == nil {
+		t.Fatal("mismatched shapes accepted")
+	}
+	neg := tensor.New(in.H, in.W, in.C)
+	neg.Data[7] = -3
+	_, err := m.RunBatch(ctx, []*tensor.Tensor{in, neg}, ReferenceDotter{}, RunOptions{})
+	if err == nil {
+		t.Fatal("negative activation accepted")
+	}
+	// The failing input is named, and it is the second one.
+	if want := "input 1"; !contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q", err, want)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := m.RunBatch(cctx, []*tensor.Tensor{in}, ReferenceDotter{}, RunOptions{}); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLowerIntoReuse pins the pooled-scratch contract: a second
+// LowerInto with a large-enough backing store reuses it and matches a
+// fresh Lower bit for bit.
+func TestLowerIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := tensor.New(10, 10, 3)
+	for i := range in.Data {
+		in.Data[i] = rng.Int63n(16)
+	}
+	var p tensor.PatchMatrix
+	if err := tensor.LowerInto(&p, in, 3, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	backing := &p.Data[0]
+	// Dirty the store, re-lower a smaller problem, and compare.
+	for i := range p.Data {
+		p.Data[i] = -99
+	}
+	small := tensor.New(6, 6, 2)
+	for i := range small.Data {
+		small.Data[i] = rng.Int63n(16)
+	}
+	if err := tensor.LowerInto(&p, small, 3, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if &p.Data[0] != backing {
+		t.Fatal("LowerInto reallocated a large-enough backing store")
+	}
+	fresh, err := tensor.Lower(small, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows != fresh.Rows || p.Cols != fresh.Cols || p.EH != fresh.EH || p.EW != fresh.EW {
+		t.Fatalf("shape %d/%d/%d/%d != fresh %d/%d/%d/%d",
+			p.Rows, p.Cols, p.EH, p.EW, fresh.Rows, fresh.Cols, fresh.EH, fresh.EW)
+	}
+	for i, v := range fresh.Data {
+		if p.Data[i] != v {
+			t.Fatalf("element %d = %d, want %d", i, p.Data[i], v)
+		}
+	}
+}

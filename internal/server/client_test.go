@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"pixel"
+	"pixel/api"
+)
+
+// TestAPIClientAgainstServer proves the thin api.Client and the server
+// agree on the wire contract end to end: typed results on success and
+// *api.HTTPError carrying the documented code on failure.
+func TestAPIClientAgainstServer(t *testing.T) {
+	srv := New(Config{Engine: pixel.NewEngine(pixel.EngineOptions{}), Logger: discardLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := api.NewClient(ts.URL+"/", nil) // trailing slash must be harmless
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	nets, err := c.Networks(ctx)
+	if err != nil || len(nets) == 0 {
+		t.Fatalf("Networks = %v, %v", nets, err)
+	}
+	designs, err := c.Designs(ctx)
+	if err != nil || len(designs) != 3 {
+		t.Fatalf("Designs = %v, %v", designs, err)
+	}
+
+	res, err := c.Evaluate(ctx, api.EvaluateRequest{Network: "AlexNet", Design: "OO", Lanes: 4, Bits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Network != "AlexNet" || res.EnergyJ <= 0 || len(res.PerLayer) == 0 {
+		t.Errorf("Evaluate result = %+v, want populated AlexNet result", res)
+	}
+
+	sweep, err := c.Sweep(ctx, api.SweepRequest{Networks: []string{"AlexNet"}, Lanes: []int{4}, Bits: []int{8, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sweep.Results["AlexNet"]); sweep.Points == 0 || got != sweep.Points {
+		t.Errorf("sweep rows = %d, want %d", got, sweep.Points)
+	}
+
+	_, err = c.Evaluate(ctx, api.EvaluateRequest{Network: "NopeNet", Design: "OO", Lanes: 4, Bits: 16})
+	var he *api.HTTPError
+	if !errors.As(err, &he) || he.Status != 404 || he.Code != "unknown_network" {
+		t.Fatalf("Evaluate(NopeNet) err = %v, want 404/unknown_network HTTPError", err)
+	}
+	_, err = c.Robustness(ctx, api.RobustnessRequest{Network: "lenet", Design: "OO", Sigmas: []float64{0.5}, Trials: 4})
+	if !errors.As(err, &he) || he.Status != 501 || he.Code != "not_implemented" {
+		t.Fatalf("Robustness err = %v, want 501/not_implemented HTTPError", err)
+	}
+}

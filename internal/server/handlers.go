@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strings"
 
 	"pixel"
+	"pixel/api"
 )
 
 // statusClientClosedRequest is the nginx-convention status recorded
@@ -21,66 +23,66 @@ const statusClientClosedRequest = 499
 // worker pool up for minutes on one caller.
 const maxSweepJobs = 65536
 
-// errorBody is the JSON error envelope every non-2xx response carries.
-type errorBody struct {
-	Error errorDetail `json:"error"`
-}
-
-type errorDetail struct {
-	Status  int    `json:"status"`
-	Message string `json:"message"`
-}
-
-// httpError carries an explicit status for request-shape failures
-// (bad JSON, missing fields) that have no engine sentinel.
+// httpError carries an explicit status and code for request-shape
+// failures (bad JSON, missing fields, unconfigured routes) that have
+// no engine sentinel.
 type httpError struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequestf(format string, args ...any) error {
-	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, code: "bad_request", msg: fmt.Sprintf(format, args...)}
 }
 
-// statusFor maps an error to its documented HTTP status: the engine
-// sentinels via errors.Is (unknown network 404; unknown design, bad
-// precision, bad grid 400), shed requests 429, deadline 504, client
-// hang-up 499, anything else 500.
-func statusFor(err error) int {
+// errorTable is the single sentinel -> (HTTP status, wire code)
+// mapping every route renders errors through; first errors.Is match
+// wins. Codes are part of the versioned wire contract (api.Error).
+var errorTable = []struct {
+	is     error
+	status int
+	code   string
+}{
+	{errShed, http.StatusTooManyRequests, "overloaded"},
+	{pixel.ErrUnknownNetwork, http.StatusNotFound, "unknown_network"},
+	{pixel.ErrUnknownDesign, http.StatusBadRequest, "unknown_design"},
+	{pixel.ErrBadPrecision, http.StatusBadRequest, "bad_precision"},
+	{pixel.ErrBadGrid, http.StatusBadRequest, "bad_grid"},
+	{pixel.ErrBadSpec, http.StatusBadRequest, "bad_spec"},
+	{context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline_exceeded"},
+	{context.Canceled, statusClientClosedRequest, "client_closed_request"},
+}
+
+// classify maps an error to its documented HTTP status and wire code:
+// explicit httpErrors first, then the sentinel table, else 500.
+func classify(err error) (status int, code string) {
 	var he *httpError
-	switch {
-	case errors.As(err, &he):
-		return he.status
-	case errors.Is(err, errShed):
-		return http.StatusTooManyRequests
-	case errors.Is(err, pixel.ErrUnknownNetwork):
-		return http.StatusNotFound
-	case errors.Is(err, pixel.ErrUnknownDesign),
-		errors.Is(err, pixel.ErrBadPrecision),
-		errors.Is(err, pixel.ErrBadGrid),
-		errors.Is(err, pixel.ErrBadSpec):
-		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return statusClientClosedRequest
-	default:
-		return http.StatusInternalServerError
+	if errors.As(err, &he) {
+		return he.status, he.code
 	}
+	for _, e := range errorTable {
+		if errors.Is(err, e.is) {
+			return e.status, e.code
+		}
+	}
+	return http.StatusInternalServerError, "internal"
 }
 
-// writeError renders err as the JSON error envelope. Shed requests get
-// a Retry-After hint sized to the queue timeout and count toward the
-// shed metric.
+// writeError renders err as the uniform api.ErrorEnvelope every route
+// shares. Shed requests get a Retry-After hint (header and envelope
+// field) sized to the queue timeout and count toward the shed metric.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := statusFor(err)
+	status, code := classify(err)
+	detail := api.Error{Code: code, Message: err.Error()}
 	if status == http.StatusTooManyRequests {
 		s.metrics.shed.Add(1)
-		w.Header().Set("Retry-After", fmt.Sprint(int(math.Ceil(math.Max(s.retryAfter.Seconds(), 1)))))
+		detail.RetryAfterS = int(math.Ceil(math.Max(s.retryAfter.Seconds(), 1)))
+		w.Header().Set("Retry-After", fmt.Sprint(detail.RetryAfterS))
 	}
-	writeJSON(w, status, errorBody{Error: errorDetail{Status: status, Message: err.Error()}})
+	writeJSON(w, status, api.ErrorEnvelope{Error: detail})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -104,51 +106,8 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-// apiResult is the wire form of pixel.Result, field-compatible with
-// the pixelsweep -json output.
-type apiResult struct {
-	Network  string             `json:"network"`
-	Design   string             `json:"design"`
-	Lanes    int                `json:"lanes"`
-	Bits     int                `json:"bits"`
-	EnergyJ  float64            `json:"energy_j"`
-	LatencyS float64            `json:"latency_s"`
-	EDP      float64            `json:"edp_js"`
-	Energy   map[string]float64 `json:"energy_breakdown_j"`
-	PerLayer []apiLayer         `json:"per_layer,omitempty"`
-}
-
-type apiLayer struct {
-	Name     string  `json:"name"`
-	EnergyJ  float64 `json:"energy_j"`
-	LatencyS float64 `json:"latency_s"`
-}
-
-// toAPIResult converts a Result; per-layer rows ride along only on
-// single-point responses (a sweep would multiply the payload by the
-// layer count for data most clients aggregate anyway).
-func toAPIResult(r pixel.Result, perLayer bool) apiResult {
-	out := apiResult{
-		Network:  r.Network,
-		Design:   r.Design.String(),
-		Lanes:    r.Lanes,
-		Bits:     r.Bits,
-		EnergyJ:  r.EnergyJ,
-		LatencyS: r.LatencyS,
-		EDP:      r.EDP,
-		Energy:   r.Breakdown,
-	}
-	if perLayer {
-		out.PerLayer = make([]apiLayer, len(r.PerLayer))
-		for i, l := range r.PerLayer {
-			out.PerLayer[i] = apiLayer{Name: l.Name, EnergyJ: l.EnergyJ, LatencyS: l.LatencyS}
-		}
-	}
-	return out
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -157,7 +116,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"networks": pixel.Networks()})
+	writeJSON(w, http.StatusOK, api.NetworksResponse{Networks: pixel.Networks()})
 }
 
 func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
@@ -165,20 +124,11 @@ func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
 	for _, d := range pixel.Designs() {
 		names = append(names, d.String())
 	}
-	writeJSON(w, http.StatusOK, map[string][]string{"designs": names})
-}
-
-// evaluateRequest is the POST /v1/evaluate body: one design point of
-// one network.
-type evaluateRequest struct {
-	Network string `json:"network"`
-	Design  string `json:"design"`
-	Lanes   int    `json:"lanes"`
-	Bits    int    `json:"bits"`
+	writeJSON(w, http.StatusOK, api.DesignsResponse{Designs: names})
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	var req evaluateRequest
+	var req api.EvaluateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, err)
 		return
@@ -208,26 +158,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toAPIResult(res, true))
-}
-
-// sweepRequest is the POST /v1/sweep body: the cross product of
-// designs x lanes x bits evaluated for every listed network. An empty
-// designs list means all three.
-type sweepRequest struct {
-	Networks []string `json:"networks"`
-	Designs  []string `json:"designs"`
-	Lanes    []int    `json:"lanes"`
-	Bits     []int    `json:"bits"`
-}
-
-type sweepResponse struct {
-	Points  int                    `json:"points"`
-	Results map[string][]apiResult `json:"results"`
+	writeJSON(w, http.StatusOK, api.FromResult(res, true))
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
+	var req api.SweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, err)
 		return
@@ -277,41 +212,82 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	resp := sweepResponse{Points: len(points), Results: make(map[string][]apiResult, len(byNet))}
+	resp := api.SweepResponse{Points: len(points), Results: make(map[string][]api.Result, len(byNet))}
 	for name, results := range byNet {
-		rows := make([]apiResult, len(results))
+		rows := make([]api.Result, len(results))
 		for i, res := range results {
-			rows[i] = toAPIResult(res, false)
+			rows[i] = api.FromResult(res, false)
 		}
 		resp.Results[name] = rows
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// mapRequest is the POST /v1/map body: schedule a network onto a
-// rows x cols tile grid at a design point.
-type mapRequest struct {
-	Network         string `json:"network"`
-	Design          string `json:"design"`
-	Lanes           int    `json:"lanes"`
-	Bits            int    `json:"bits"`
-	Rows            int    `json:"rows"`
-	Cols            int    `json:"cols"`
-	PhotonicWeights bool   `json:"photonic_weights"`
-}
+// maxInferImages bounds the image count of one /v1/infer request;
+// callers with more traffic should pipeline requests and let the
+// micro-batcher coalesce them.
+const maxInferImages = 256
 
-type mapResponse struct {
-	Network     string  `json:"network"`
-	Rows        int     `json:"rows"`
-	Cols        int     `json:"cols"`
-	SequentialS float64 `json:"sequential_s"`
-	PipelinedS  float64 `json:"pipelined_s"`
-	PreloadJ    float64 `json:"preload_j"`
-	Utilization float64 `json:"utilization"`
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if s.infer == nil {
+		s.writeError(w, &httpError{
+			status: http.StatusNotImplemented,
+			code:   "not_implemented",
+			msg:    "inference serving is not enabled on this server",
+		})
+		return
+	}
+	var req api.InferRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Images) == 0 {
+		s.writeError(w, badRequestf("images must be non-empty"))
+		return
+	}
+	if len(req.Images) > maxInferImages {
+		s.writeError(w, badRequestf("%d images exceeds the %d-image limit", len(req.Images), maxInferImages))
+		return
+	}
+	// Validate shape before joining a batch: a batched pass is shared,
+	// so a malformed image must fail its own request here rather than
+	// everyone else's downstream.
+	network := strings.ToLower(strings.TrimSpace(req.Network))
+	shape, err := s.infer.NetworkShape(network)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	want := shape.H * shape.W * shape.C
+	for i, img := range req.Images {
+		if len(img) != want {
+			s.writeError(w, badRequestf("image %d has %d values, want %dx%dx%d = %d",
+				i, len(img), shape.H, shape.W, shape.C, want))
+			return
+		}
+		for _, v := range img {
+			if v < 0 || v > shape.MaxValue {
+				s.writeError(w, badRequestf("image %d has value %d outside [0, %d]", i, v, shape.MaxValue))
+				return
+			}
+		}
+	}
+
+	results, batched, err := s.batcher.Submit(r.Context(), network, req.Images)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := api.InferResponse{Results: make([]api.InferResult, len(results)), Batched: batched}
+	for i, res := range results {
+		resp.Results[i] = api.InferResult{Outputs: res.Outputs, ArgMax: res.ArgMax}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
-	var req mapRequest
+	var req api.MapRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, err)
 		return
@@ -330,12 +306,18 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.limiter.release()
 
-	sched, err := pixel.MapToGrid(req.Network, d, req.Lanes, req.Bits, req.Rows, req.Cols, req.PhotonicWeights)
+	sched, err := pixel.MapContext(ctx, pixel.MapSpec{
+		Network:         req.Network,
+		Point:           pixel.Point{Design: d, Lanes: req.Lanes, Bits: req.Bits},
+		Rows:            req.Rows,
+		Cols:            req.Cols,
+		PhotonicWeights: req.PhotonicWeights,
+	})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, mapResponse{
+	writeJSON(w, http.StatusOK, api.MapResponse{
 		Network:     sched.Network,
 		Rows:        sched.Rows,
 		Cols:        sched.Cols,

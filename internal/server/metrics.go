@@ -22,9 +22,11 @@ var durationBuckets = []float64{
 // guarded by mu; scrapes see a consistent-enough snapshot (Prometheus
 // semantics do not require cross-series atomicity).
 type metrics struct {
-	inFlight  atomic.Int64 // HTTP requests currently being served
-	shed      atomic.Int64 // requests rejected by admission control
-	coalesced atomic.Int64 // requests that shared another's flight
+	inFlight     atomic.Int64 // HTTP requests currently being served
+	shed         atomic.Int64 // requests rejected by admission control
+	coalesced    atomic.Int64 // requests that shared another's flight
+	inferBatches atomic.Int64 // batched /v1/infer engine passes
+	inferImages  atomic.Int64 // images served across those passes
 
 	mu        sync.Mutex
 	requests  map[routeCode]int64       // completed requests by route+status
@@ -98,6 +100,14 @@ func (m *metrics) write(w io.Writer, eng engineStats) {
 	fmt.Fprintln(w, "# HELP pixeld_coalesced_total Requests that shared an identical in-flight computation.")
 	fmt.Fprintln(w, "# TYPE pixeld_coalesced_total counter")
 	fmt.Fprintf(w, "pixeld_coalesced_total %d\n", m.coalesced.Load())
+
+	fmt.Fprintln(w, "# HELP pixeld_infer_batches_total Batched /v1/infer engine passes.")
+	fmt.Fprintln(w, "# TYPE pixeld_infer_batches_total counter")
+	fmt.Fprintf(w, "pixeld_infer_batches_total %d\n", m.inferBatches.Load())
+
+	fmt.Fprintln(w, "# HELP pixeld_infer_images_total Images served across batched /v1/infer passes.")
+	fmt.Fprintln(w, "# TYPE pixeld_infer_images_total counter")
+	fmt.Fprintf(w, "pixeld_infer_images_total %d\n", m.inferImages.Load())
 
 	if eng != nil {
 		fmt.Fprintln(w, "# HELP pixeld_engine_cost_calls_total Evaluations actually priced by the engine (result-LRU misses).")

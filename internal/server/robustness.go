@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"pixel"
+	"pixel/api"
 )
 
 // maxSigmaPoints bounds the σ axis of one robustness request; together
@@ -13,31 +14,16 @@ import (
 // caller can queue.
 const maxSigmaPoints = 256
 
-// robustnessRequest is the POST /v1/robustness body. Workers is
-// deliberately absent from the wire format: pool sizing is the
-// server's resource decision, and the engine's report is bit-identical
-// at any width anyway.
-type robustnessRequest struct {
-	Network     string    `json:"network"`
-	Design      string    `json:"design"`
-	Sigmas      []float64 `json:"sigmas"`
-	Trials      int       `json:"trials"`
-	Seed        int64     `json:"seed"`
-	ErrorBudget float64   `json:"error_budget"`
-	// Protection optionally selects a fault-mitigation scheme; the
-	// report then carries the paired protected curve and its overhead.
-	Protection *pixel.ProtectionSpec `json:"protection,omitempty"`
-}
-
 func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
 	if s.robust == nil {
 		s.writeError(w, &httpError{
 			status: http.StatusNotImplemented,
+			code:   "not_implemented",
 			msg:    "robustness sweeps are not enabled on this server",
 		})
 		return
 	}
-	var req robustnessRequest
+	var req api.RobustnessRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, err)
 		return

@@ -13,6 +13,7 @@
 //	POST /v1/sweep       evaluate a grid across one or more networks
 //	POST /v1/map         schedule a network onto a tile grid
 //	POST /v1/robustness  Monte-Carlo variation-to-yield sweep
+//	POST /v1/infer       batched quantized inference (micro-batched)
 //	GET  /v1/networks    the CNN zoo
 //	GET  /v1/designs     the MAC designs
 //	GET  /healthz        liveness
@@ -64,6 +65,17 @@ type Config struct {
 	Engine Evaluator
 	// Robust serves POST /v1/robustness; nil disables the route (501).
 	Robust RobustnessEvaluator
+	// Infer serves POST /v1/infer; nil disables the route (501).
+	// PixelInfer{} wires the route to the pixel facade.
+	Infer InferEvaluator
+	// BatchSize is the image count at which a pending /v1/infer batch
+	// executes without waiting out its window; <= 0 means
+	// DefaultBatchSize.
+	BatchSize int
+	// BatchWindow is how long the first request of a /v1/infer batch
+	// waits for company before the partial batch executes; <= 0 means
+	// DefaultBatchWindow.
+	BatchWindow time.Duration
 	// MaxTrials bounds the per-request trial count of a robustness
 	// sweep; <= 0 means DefaultMaxTrials. Requests above it are
 	// rejected with 400 before any work starts.
@@ -95,6 +107,8 @@ const (
 type Server struct {
 	engine         Evaluator
 	robust         RobustnessEvaluator
+	infer          InferEvaluator
+	batcher        *microBatcher
 	maxTrials      int
 	limiter        *limiter
 	metrics        *metrics
@@ -132,9 +146,10 @@ func New(cfg Config) *Server {
 	if maxTrials <= 0 {
 		maxTrials = DefaultMaxTrials
 	}
-	return &Server{
+	s := &Server{
 		engine:         cfg.Engine,
 		robust:         cfg.Robust,
+		infer:          cfg.Infer,
 		maxTrials:      maxTrials,
 		limiter:        newLimiter(maxInFlight, queueTimeout),
 		metrics:        newMetrics(),
@@ -145,6 +160,23 @@ func New(cfg Config) *Server {
 		sweepFlights:   newFlightGroup[map[string][]pixel.Result](),
 		robustFlights:  newFlightGroup[pixel.RobustnessReport](),
 	}
+	if s.infer != nil {
+		// The batched pass — not each waiting request — holds the
+		// admission slot: B coalesced images cost one in-flight unit,
+		// which is exactly the point of batching.
+		s.batcher = newMicroBatcher(func(ctx context.Context, network string, images [][]int64) ([]pixel.InferResult, error) {
+			ctx, cancel := context.WithTimeout(ctx, s.requestTimeout)
+			defer cancel()
+			if err := s.limiter.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.limiter.release()
+			s.metrics.inferBatches.Add(1)
+			s.metrics.inferImages.Add(int64(len(images)))
+			return s.infer.InferContext(ctx, pixel.InferSpec{Network: network, Images: images})
+		}, cfg.BatchSize, cfg.BatchWindow)
+	}
+	return s
 }
 
 // Handler returns the server's routing tree with logging and metrics
@@ -159,6 +191,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.Handle("POST /v1/map", s.instrument("/v1/map", s.handleMap))
 	mux.Handle("POST /v1/robustness", s.instrument("/v1/robustness", s.handleRobustness))
+	mux.Handle("POST /v1/infer", s.instrument("/v1/infer", s.handleInfer))
 	return mux
 }
 
@@ -182,5 +215,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	return <-shutdownErr
+	err := <-shutdownErr
+	if s.batcher != nil {
+		// In-flight /v1/infer handlers finished during the HTTP drain;
+		// this flushes any partial batch whose window never filled.
+		s.batcher.Close()
+	}
+	return err
 }

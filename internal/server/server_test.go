@@ -185,12 +185,17 @@ func TestEvaluateShedding(t *testing.T) {
 	}
 	var envelope struct {
 		Error struct {
-			Status  int    `json:"status"`
-			Message string `json:"message"`
+			Code       string `json:"code"`
+			Message    string `json:"message"`
+			RetryAfter int    `json:"retry_after"`
 		} `json:"error"`
 	}
-	if err := json.Unmarshal([]byte(body), &envelope); err != nil || envelope.Error.Status != 429 {
-		t.Errorf("error body %q (err %v), want status 429 envelope", body, err)
+	if err := json.Unmarshal([]byte(body), &envelope); err != nil || envelope.Error.Code != "overloaded" {
+		t.Errorf("error body %q (err %v), want code overloaded envelope", body, err)
+	}
+	if fmt.Sprint(envelope.Error.RetryAfter) != resp.Header.Get("Retry-After") {
+		t.Errorf("envelope retry_after %d != Retry-After header %q",
+			envelope.Error.RetryAfter, resp.Header.Get("Retry-After"))
 	}
 	if got := srv.metrics.shed.Load(); got != 1 {
 		t.Errorf("shed counter = %d, want 1", got)
@@ -267,19 +272,22 @@ func TestSentinelErrorMapping(t *testing.T) {
 		path   string
 		body   string
 		status int
+		code   string
 	}{
-		{"unknown network", "/v1/evaluate", `{"network":"NopeNet","design":"OO","lanes":4,"bits":16}`, 404},
-		{"unknown design", "/v1/evaluate", `{"network":"AlexNet","design":"XX","lanes":4,"bits":16}`, 400},
-		{"bad precision lanes", "/v1/evaluate", `{"network":"AlexNet","design":"OO","lanes":0,"bits":16}`, 400},
-		{"bad precision bits", "/v1/evaluate", `{"network":"AlexNet","design":"OO","lanes":4,"bits":1000}`, 400},
-		{"malformed body", "/v1/evaluate", `{"network":`, 400},
-		{"unknown field", "/v1/evaluate", `{"network":"AlexNet","design":"OO","lane":4,"bits":16}`, 400},
-		{"sweep no networks", "/v1/sweep", `{"networks":[],"lanes":[4],"bits":[8]}`, 400},
-		{"sweep empty axis", "/v1/sweep", `{"networks":["AlexNet"],"lanes":[],"bits":[8]}`, 400},
-		{"sweep unknown network", "/v1/sweep", `{"networks":["NopeNet"],"lanes":[4],"bits":[8]}`, 404},
-		{"sweep bad point", "/v1/sweep", `{"networks":["AlexNet"],"lanes":[4],"bits":[1000]}`, 400},
-		{"map bad grid", "/v1/map", `{"network":"LeNet","design":"OO","lanes":16,"bits":8,"rows":4,"cols":16}`, 400},
-		{"map unknown network", "/v1/map", `{"network":"NopeNet","design":"OO","lanes":4,"bits":8,"rows":4,"cols":4}`, 404},
+		{"unknown network", "/v1/evaluate", `{"network":"NopeNet","design":"OO","lanes":4,"bits":16}`, 404, "unknown_network"},
+		{"unknown design", "/v1/evaluate", `{"network":"AlexNet","design":"XX","lanes":4,"bits":16}`, 400, "unknown_design"},
+		{"bad precision lanes", "/v1/evaluate", `{"network":"AlexNet","design":"OO","lanes":0,"bits":16}`, 400, "bad_precision"},
+		{"bad precision bits", "/v1/evaluate", `{"network":"AlexNet","design":"OO","lanes":4,"bits":1000}`, 400, "bad_precision"},
+		{"malformed body", "/v1/evaluate", `{"network":`, 400, "bad_request"},
+		{"unknown field", "/v1/evaluate", `{"network":"AlexNet","design":"OO","lane":4,"bits":16}`, 400, "bad_request"},
+		{"sweep no networks", "/v1/sweep", `{"networks":[],"lanes":[4],"bits":[8]}`, 400, "bad_request"},
+		{"sweep empty axis", "/v1/sweep", `{"networks":["AlexNet"],"lanes":[],"bits":[8]}`, 400, "bad_request"},
+		{"sweep unknown network", "/v1/sweep", `{"networks":["NopeNet"],"lanes":[4],"bits":[8]}`, 404, "unknown_network"},
+		{"sweep bad point", "/v1/sweep", `{"networks":["AlexNet"],"lanes":[4],"bits":[1000]}`, 400, "bad_precision"},
+		{"map bad grid", "/v1/map", `{"network":"LeNet","design":"OO","lanes":16,"bits":8,"rows":4,"cols":16}`, 400, "bad_grid"},
+		{"map unknown network", "/v1/map", `{"network":"NopeNet","design":"OO","lanes":4,"bits":8,"rows":4,"cols":4}`, 404, "unknown_network"},
+		{"robustness unconfigured", "/v1/robustness", `{"network":"lenet","design":"OO","sigmas":[0.5],"trials":4}`, 501, "not_implemented"},
+		{"infer unconfigured", "/v1/infer", `{"network":"tiny","images":[[1]]}`, 501, "not_implemented"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -289,15 +297,15 @@ func TestSentinelErrorMapping(t *testing.T) {
 			}
 			var envelope struct {
 				Error struct {
-					Status  int    `json:"status"`
+					Code    string `json:"code"`
 					Message string `json:"message"`
 				} `json:"error"`
 			}
 			if err := json.Unmarshal([]byte(body), &envelope); err != nil {
 				t.Fatalf("non-JSON error body %q: %v", body, err)
 			}
-			if envelope.Error.Status != tc.status || envelope.Error.Message == "" {
-				t.Errorf("error envelope = %+v, want status %d with message", envelope.Error, tc.status)
+			if envelope.Error.Code != tc.code || envelope.Error.Message == "" {
+				t.Errorf("error envelope = %+v, want code %q with message", envelope.Error, tc.code)
 			}
 		})
 	}

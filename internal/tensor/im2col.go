@@ -49,12 +49,28 @@ func convShape(in *Tensor, r, stride, pad int) (eh, ew int, err error) {
 // element through At; boundary windows fall back to the padded
 // per-element gather.
 func Lower(in *Tensor, r, stride, pad int) (*PatchMatrix, error) {
-	eh, ew, err := convShape(in, r, stride, pad)
-	if err != nil {
+	p := new(PatchMatrix)
+	if err := LowerInto(p, in, r, stride, pad); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
+
+// LowerInto is Lower writing into p, reusing p's backing store when it
+// is already large enough — the pooled-scratch form batched inference
+// leans on to keep the per-image hot path allocation-free.
+func LowerInto(p *PatchMatrix, in *Tensor, r, stride, pad int) error {
+	eh, ew, err := convShape(in, r, stride, pad)
+	if err != nil {
+		return err
+	}
 	cols := r * r * in.C
-	p := &PatchMatrix{EH: eh, EW: ew, Rows: eh * ew, Cols: cols, Data: make([]int64, eh*ew*cols)}
+	need := eh * ew * cols
+	if cap(p.Data) < need {
+		p.Data = make([]int64, need)
+	}
+	p.EH, p.EW, p.Rows, p.Cols = eh, ew, eh*ew, cols
+	p.Data = p.Data[:need]
 	span := r * in.C // one kernel row of a window is contiguous in HWC
 	for oy := 0; oy < eh; oy++ {
 		y0 := oy*stride - pad
@@ -81,5 +97,5 @@ func Lower(in *Tensor, r, stride, pad int) (*PatchMatrix, error) {
 			}
 		}
 	}
-	return p, nil
+	return nil
 }

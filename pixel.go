@@ -17,6 +17,7 @@
 package pixel
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -126,16 +127,21 @@ type LayerResult struct {
 }
 
 // Evaluate prices a full inference of the named network (see Networks)
-// under the given design, lane count and bits/lane. It is the
-// positional form of Point.Evaluate and shares the memoized engine.
+// under the given design, lane count and bits/lane, through the shared
+// memoized engine.
+//
+// Deprecated: use EvaluateContext (or Point.Evaluate); the positional
+// argument list predates the Point-struct API surface.
 func Evaluate(network string, d Design, lanes, bits int) (Result, error) {
-	return Point{Design: d, Lanes: lanes, Bits: bits}.Evaluate(network)
+	return EvaluateContext(context.Background(), network, Point{Design: d, Lanes: lanes, Bits: bits})
 }
 
-// Area returns the MAC-unit ensemble area [m^2] of a design point —
-// the positional form of Point.Area.
+// Area returns the MAC-unit ensemble area [m^2] of a design point.
+//
+// Deprecated: use AreaContext (or Point.Area); the positional argument
+// list predates the Point-struct API surface.
 func Area(d Design, lanes, bits int) (float64, error) {
-	return Point{Design: d, Lanes: lanes, Bits: bits}.Area()
+	return AreaContext(context.Background(), Point{Design: d, Lanes: lanes, Bits: bits})
 }
 
 // Experiments returns the ids of the paper artifacts this library

@@ -13,9 +13,10 @@ import (
 
 // Point is one design point of the paper's exploration space: a MAC
 // design, a lane (wavelength) count and a bits/lane burst width. It is
-// the value the evaluation API shares — Evaluate, EvaluatePower, Area,
-// MapToGrid and the sweep engine are all views of a Point; the
-// positional-argument forms remain as thin wrappers.
+// the value the evaluation API shares — EvaluateContext, PowerContext,
+// AreaContext, MapContext and the sweep engine are all views of a
+// Point; the positional-argument forms remain as deprecated thin
+// wrappers.
 type Point struct {
 	Design Design
 	Lanes  int
