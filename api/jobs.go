@@ -1,0 +1,234 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"pixel"
+)
+
+// Job kinds accepted by POST /v1/jobs.
+const (
+	JobKindRobustness = "robustness"
+	JobKindSweep      = "sweep"
+)
+
+// Job states reported by GET /v1/jobs/{id}.
+const (
+	JobStateQueued    = "queued"
+	JobStateRunning   = "running"
+	JobStateSucceeded = "succeeded"
+	JobStateFailed    = "failed"
+	JobStateCancelled = "cancelled"
+)
+
+// Job event types on GET /v1/jobs/{id}/events. "progress" carries a
+// JobProgress, "point" a JobPoint (robustness jobs only), "adopted" a
+// JobProgress (emitted once when a restarted server re-adopts the job
+// from its checkpoint), and the three terminal types carry a
+// JobProgress plus an error message for "failed".
+const (
+	JobEventProgress  = "progress"
+	JobEventPoint     = "point"
+	JobEventAdopted   = "adopted"
+	JobEventSucceeded = "succeeded"
+	JobEventFailed    = "failed"
+	JobEventCancelled = "cancelled"
+)
+
+// JobRequest is the POST /v1/jobs body: exactly one spec matching
+// Kind. The specs reuse the synchronous routes' request types, so
+// anything POST /v1/robustness accepts can also run as a durable job.
+type JobRequest struct {
+	Kind       string             `json:"kind"`
+	Robustness *RobustnessRequest `json:"robustness,omitempty"`
+	Sweep      *SweepRequest      `json:"sweep,omitempty"`
+}
+
+// JobHandle is the POST /v1/jobs response (202 Accepted): the id to
+// poll, stream or cancel with.
+type JobHandle struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+}
+
+// JobStatusResponse is the GET /v1/jobs/{id} response. Result is the
+// job's final payload once State is "succeeded" (a RobustnessResponse
+// or SweepResponse by Kind); Partial carries the σ points completed so
+// far on a running robustness job. Adopted marks a job re-adopted from
+// its checkpoint after a server restart.
+type JobStatusResponse struct {
+	ID          string          `json:"id"`
+	Kind        string          `json:"kind"`
+	State       string          `json:"state"`
+	Done        int             `json:"done"`
+	Total       int             `json:"total"`
+	CreatedUnix int64           `json:"created_unix"`
+	Adopted     bool            `json:"adopted,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Partial     json.RawMessage `json:"partial,omitempty"`
+}
+
+// JobProgress is the data payload of "progress", "adopted" and
+// terminal events: completed and total unit counts (trials for
+// robustness jobs, grid cells for sweeps). Error rides along on
+// "failed" events.
+type JobProgress struct {
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+}
+
+// JobPoint is the data payload of "point" events: one σ point of a
+// robustness job's yield curve, delivered as soon as all of its trials
+// complete. Index is the point's position on the request's sigma axis.
+type JobPoint struct {
+	Index     int                   `json:"index"`
+	Point     pixel.YieldPoint      `json:"point"`
+	Protected *pixel.ProtectedPoint `json:"protected,omitempty"`
+}
+
+// JobEvent is one server-sent event from GET /v1/jobs/{id}/events.
+// Seq is the SSE id — pass it as Last-Event-ID (or JobEvents' lastSeq)
+// when reconnecting and the stream resumes with no gap.
+type JobEvent struct {
+	Seq  int64           `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Terminal reports whether the event ends the stream.
+func (e JobEvent) Terminal() bool {
+	switch e.Type {
+	case JobEventSucceeded, JobEventFailed, JobEventCancelled:
+		return true
+	}
+	return false
+}
+
+// CreateJob submits a durable job and returns its handle. The work
+// runs server-side, survives server restarts via checkpoints, and is
+// observed with Job, JobEvents or cancelled with DeleteJob.
+func (c *Client) CreateJob(ctx context.Context, req JobRequest) (JobHandle, error) {
+	var out JobHandle
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out)
+	return out, err
+}
+
+// Job fetches a job's status, partial results included.
+func (c *Client) Job(ctx context.Context, id string) (JobStatusResponse, error) {
+	var out JobStatusResponse
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// DeleteJob cancels a running job (its checkpoint is discarded) or
+// forgets a finished one.
+func (c *Client) DeleteJob(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil)
+}
+
+// JobEvents opens the job's server-sent event stream. lastSeq resumes
+// after a previously seen event (pass -1 for the full stream); the
+// server replays everything newer, so a client that reconnects with
+// its last seq misses nothing. Iterate with Next until a Terminal
+// event or error; Close the stream when done.
+func (c *Client) JobEvents(ctx context.Context, id string, lastSeq int64) (*EventStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return nil, fmt.Errorf("api: build request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastSeq >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastSeq, 10))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		he := &HTTPError{Status: resp.StatusCode}
+		var env ErrorEnvelope
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&env); err == nil {
+			he.Code = env.Error.Code
+			he.Message = env.Error.Message
+			he.RetryAfterS = env.Error.RetryAfterS
+		} else {
+			he.Code = "unknown"
+			he.Message = resp.Status
+		}
+		return nil, he
+	}
+	return &EventStream{body: resp.Body, sc: bufio.NewScanner(resp.Body), lastSeq: -1}, nil
+}
+
+// EventStream iterates a text/event-stream response. It is not safe
+// for concurrent use.
+type EventStream struct {
+	body    io.Closer
+	sc      *bufio.Scanner
+	lastSeq int64
+}
+
+// LastSeq returns the seq of the last event Next delivered (-1 before
+// the first) — the value to hand back to JobEvents when reconnecting.
+func (s *EventStream) LastSeq() int64 { return s.lastSeq }
+
+// Close releases the underlying connection.
+func (s *EventStream) Close() error { return s.body.Close() }
+
+// Next blocks for the next event. Heartbeat comments are skipped
+// transparently. It returns io.EOF when the server closes the stream
+// (after a Terminal event, or on shutdown — reconnect with LastSeq to
+// resume).
+func (s *EventStream) Next() (JobEvent, error) {
+	ev := JobEvent{Seq: -1}
+	var data strings.Builder
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		switch {
+		case line == "":
+			// Dispatch boundary — but only if the block carried a field;
+			// a heartbeat comment followed by a blank line is skipped.
+			if ev.Seq >= 0 || ev.Type != "" || data.Len() > 0 {
+				if data.Len() > 0 {
+					ev.Data = json.RawMessage(data.String())
+				}
+				if ev.Seq >= 0 {
+					s.lastSeq = ev.Seq
+				}
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / heartbeat
+		case strings.HasPrefix(line, "id:"):
+			seq, err := strconv.ParseInt(strings.TrimSpace(line[len("id:"):]), 10, 64)
+			if err != nil {
+				return JobEvent{}, fmt.Errorf("api: bad event id %q", line)
+			}
+			ev.Seq = seq
+		case strings.HasPrefix(line, "event:"):
+			ev.Type = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return JobEvent{}, err
+	}
+	return JobEvent{}, io.EOF
+}

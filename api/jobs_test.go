@@ -1,0 +1,83 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestEventStreamParsing drives the SSE iterator over a canned stream:
+// heartbeat comments are skipped, multi-line data is joined, ids
+// propagate to LastSeq, and stream end surfaces io.EOF.
+func TestEventStreamParsing(t *testing.T) {
+	var gotLastEventID string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotLastEventID = r.Header.Get("Last-Event-ID")
+		w.Header().Set("Content-Type", "text/event-stream")
+		io.WriteString(w, ": heartbeat\n\n")
+		io.WriteString(w, "id: 3\nevent: progress\ndata: {\"done\":1,\ndata: \"total\":2}\n\n")
+		io.WriteString(w, ": another heartbeat\n\n")
+		io.WriteString(w, "id: 4\nevent: succeeded\ndata: {\"done\":2,\"total\":2}\n\n")
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, nil)
+	s, err := c.JobEvents(context.Background(), "j1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if gotLastEventID != "2" {
+		t.Fatalf("Last-Event-ID header = %q, want 2", gotLastEventID)
+	}
+
+	ev, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 3 || ev.Type != JobEventProgress || ev.Terminal() {
+		t.Fatalf("first event = %+v", ev)
+	}
+	var p JobProgress
+	if err := json.Unmarshal(ev.Data, &p); err != nil {
+		t.Fatalf("multi-line data %q: %v", ev.Data, err)
+	}
+	if p.Done != 1 || p.Total != 2 {
+		t.Fatalf("progress = %+v", p)
+	}
+
+	ev, err = s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 4 || ev.Type != JobEventSucceeded || !ev.Terminal() {
+		t.Fatalf("second event = %+v", ev)
+	}
+	if s.LastSeq() != 4 {
+		t.Fatalf("LastSeq = %d, want 4", s.LastSeq())
+	}
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("stream end: err = %v, want io.EOF", err)
+	}
+}
+
+// TestJobEventsErrorEnvelope: a non-2xx stream open decodes the
+// uniform error envelope like every other route.
+func TestJobEventsErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, `{"error":{"code":"not_found","message":"no such job"}}`)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, nil)
+	_, err := c.JobEvents(context.Background(), "ghost", -1)
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusNotFound || he.Code != "not_found" {
+		t.Fatalf("err = %v, want not_found HTTPError", err)
+	}
+}

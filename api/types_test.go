@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"reflect"
 	"testing"
+
+	"pixel"
 )
 
 // wireSamples is one fully-populated instance of every wire type —
@@ -48,6 +50,39 @@ func wireSamples() map[string]any {
 		"infer_response": InferResponse{
 			Results: []InferResult{{Outputs: []int64{9, 4, 7}, ArgMax: 0}},
 			Batched: 4,
+		},
+		"job_request": JobRequest{
+			Kind: JobKindRobustness,
+			Robustness: &RobustnessRequest{
+				Network: "lenet", Design: "OO", Sigmas: []float64{1},
+				Trials: 16, Seed: 3, ErrorBudget: 0.01,
+			},
+			Sweep: &SweepRequest{
+				Networks: []string{"lenet"}, Designs: []string{"EE"},
+				Lanes: []int{4}, Bits: []int{8},
+			},
+		},
+		"job_handle": JobHandle{ID: "a1b2c3d4e5f60718", Kind: JobKindSweep, State: JobStateQueued},
+		"job_status_response": JobStatusResponse{
+			ID: "a1b2c3d4e5f60718", Kind: JobKindRobustness, State: JobStateRunning,
+			Done: 48, Total: 96, CreatedUnix: 1754000000, Adopted: true,
+			Error:   "worker exploded",
+			Result:  json.RawMessage(`{"network":"lenet"}`),
+			Partial: json.RawMessage(`[{"index":0}]`),
+		},
+		"job_progress": JobProgress{Done: 48, Total: 96, Error: "worker exploded"},
+		"job_point": JobPoint{
+			Index: 2,
+			Point: pixel.YieldPoint{
+				Sigma: 1.5, Yield: 0.875, ArgmaxRate: 0.9375,
+				MeanMismatch: 0.01, P50Mismatch: 0.005, P95Mismatch: 0.02,
+				MaxMismatch: 0.04, MeanInjectedBER: 1e-5, CleanTrials: 3,
+			},
+			Protected: &pixel.ProtectedPoint{Calls: 48, Retries: 6, Disagreements: 2, GaveUp: 1, RetryFactor: 1.125},
+		},
+		"job_event": JobEvent{
+			Seq: 7, Type: JobEventProgress,
+			Data: json.RawMessage(`{"done":48,"total":96}`),
 		},
 		"networks_response": NetworksResponse{Networks: []string{"lenet"}},
 		"designs_response":  DesignsResponse{Designs: []string{"EE", "OE", "OO"}},

@@ -9,11 +9,18 @@
 // Prometheus metrics (see internal/server, docs/SERVER.md and
 // docs/SERVING.md).
 //
+// Long robustness and sweep runs can also be submitted as durable
+// asynchronous jobs (POST /v1/jobs; status, SSE progress streaming and
+// cancellation under /v1/jobs/{id}). With -jobs-dir the jobs
+// checkpoint to disk and a restarted pixeld re-adopts and resumes
+// unfinished ones bit-exactly (see docs/JOBS.md).
+//
 // Usage:
 //
 //	pixeld -addr :8764
 //	pixeld -addr 127.0.0.1:0 -max-inflight 32 -queue-timeout 100ms -cache-size 8192
 //	pixeld -addr :8764 -batch-size 64 -batch-window 2ms
+//	pixeld -addr :8764 -jobs-dir /var/lib/pixeld/jobs -job-ttl 1h
 //
 // pixeld prints "pixeld: listening on <host:port>" once the listener
 // is bound (so :0 callers can discover the port) and drains in-flight
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"pixel"
+	"pixel/internal/jobs"
 	"pixel/internal/server"
 )
 
@@ -53,9 +61,21 @@ func run(args []string, stdout *os.File) error {
 	maxTrials := fs.Int("max-trials", server.DefaultMaxTrials, "max Monte-Carlo trials per /v1/robustness request")
 	batchSize := fs.Int("batch-size", server.DefaultBatchSize, "image count that flushes a pending /v1/infer batch early")
 	batchWindow := fs.Duration("batch-window", server.DefaultBatchWindow, "max wait for a /v1/infer batch to fill before it executes")
+	jobsDir := fs.String("jobs-dir", "", "directory for durable-job checkpoints; restarts re-adopt unfinished jobs (empty = in-memory jobs only)")
+	jobTTL := fs.Duration("job-ttl", jobs.DefaultTTL, "how long finished jobs stay queryable before eviction")
+	maxJobs := fs.Int("max-jobs", jobs.DefaultMaxJobs, "max jobs tracked before POST /v1/jobs answers 429")
+	maxRunningJobs := fs.Int("max-running-jobs", jobs.DefaultMaxRunning, "max concurrently executing jobs; the rest queue")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var mgr *jobs.Manager
+	if *jobsDir != "" {
+		var err error
+		if mgr, err = jobs.NewManager(*jobsDir); err != nil {
+			return err
+		}
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -73,7 +93,13 @@ func run(args []string, stdout *os.File) error {
 		MaxInFlight:    *maxInFlight,
 		QueueTimeout:   *queueTimeout,
 		RequestTimeout: *requestTimeout,
-		Logger:         logger,
+		Jobs: &server.JobsConfig{
+			Manager:    mgr,
+			MaxJobs:    *maxJobs,
+			MaxRunning: *maxRunningJobs,
+			TTL:        *jobTTL,
+		},
+		Logger: logger,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -11,27 +11,51 @@
 //	pixelmc -net lenet -design OO -trials 256 -sigma 0:0.5:5
 //	pixelmc -net tiny -design OE -trials 64 -sigma 0,1,2,4 -budget 0.1 -json
 //	pixelmc -net lenet -design OO -trials 256 -sigma 0:0.5:5 -protect guardband
+//	pixelmc -net lenet -trials 1024 -checkpoint /tmp/mc -progress
+//	pixelmc -net lenet -trials 1024 -checkpoint /tmp/mc -resume
 //
 // With -protect the same trials re-run through a fault-mitigation
 // scheme (tmr, dmr, nmr:N, parity[:retries], guardband[:interval]) and
 // the paired protected curve prints alongside, with the scheme's
 // energy/latency/area overhead from the arch cost model.
+//
+// With -checkpoint the run snapshots its completed trials to
+// <dir>/pixelmc.ckpt periodically and on SIGINT (exit status 3);
+// -resume restores the snapshot and finishes only the remaining
+// trials, producing the bit-identical report an uninterrupted run
+// would have. See docs/JOBS.md.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"pixel"
 	"pixel/internal/cliutil"
+	"pixel/internal/jobs"
 	"pixel/internal/report"
 )
+
+// ckptName is the snapshot file inside the -checkpoint directory.
+const ckptName = "pixelmc.ckpt"
+
+// errInterrupted marks a SIGINT exit with the checkpoint flushed —
+// main translates it to exit status 3 so scripts can distinguish
+// "resume me" from failure.
+var errInterrupted = errors.New("interrupted; checkpoint saved, rerun with -resume to finish")
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "pixelmc:", err)
+		if errors.Is(err, errInterrupted) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -47,6 +71,10 @@ func run(args []string) error {
 	budget := fs.Float64("budget", 0, "tolerated fraction of mismatched outputs per yielding part (0 = bit-exact)")
 	protectStr := fs.String("protect", "", "protection scheme: tmr, dmr, nmr:N, parity[:retries], guardband[:interval] (empty = none)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of a table")
+	ckptDir := fs.String("checkpoint", "", "directory for crash-resumable snapshots (empty = none)")
+	resume := fs.Bool("resume", false, "restore the -checkpoint snapshot and finish the remaining trials")
+	ckptEvery := fs.Duration("checkpoint-every", 5*time.Second, "periodic snapshot cadence while running")
+	progress := fs.Bool("progress", false, "report trial progress and ETA on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,8 +91,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
 
-	rep, err := pixel.Robustness(pixel.RobustnessSpec{
+	job, err := pixel.NewRobustnessJob(pixel.RobustnessSpec{
 		Network:     *netName,
 		Design:      design,
 		Sigmas:      sigmas,
@@ -78,7 +109,103 @@ func run(args []string) error {
 		return err
 	}
 
-	if *asJSON {
+	var mgr *jobs.Manager
+	if *ckptDir != "" {
+		if mgr, err = jobs.NewManager(*ckptDir); err != nil {
+			return err
+		}
+		if *resume {
+			switch err := mgr.LoadInto(ckptName, job); {
+			case errors.Is(err, jobs.ErrNotFound):
+				fmt.Fprintf(os.Stderr, "pixelmc: no checkpoint in %s, starting fresh\n", *ckptDir)
+			case err != nil:
+				// A mismatched snapshot means the flags changed; a corrupt
+				// one means the file is torn. Either way silently redoing
+				// everything would betray -resume, so fail loudly.
+				return fmt.Errorf("resume: %w", err)
+			default:
+				done, total := job.Progress()
+				fmt.Fprintf(os.Stderr, "pixelmc: resuming at %d/%d trials\n", done, total)
+			}
+		}
+	}
+
+	// Ctrl-C cancels the run; with -checkpoint the completed prefix is
+	// flushed so a -resume rerun finishes the rest bit-exactly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := runJob(ctx, job, mgr, *ckptEvery, *progress)
+	if err != nil {
+		if errors.Is(err, context.Canceled) && mgr != nil {
+			if serr := mgr.Save(ckptName, job); serr != nil {
+				return fmt.Errorf("interrupted, and the final checkpoint failed: %w", serr)
+			}
+			done, total := job.Progress()
+			fmt.Fprintf(os.Stderr, "pixelmc: %d/%d trials checkpointed to %s\n", done, total, *ckptDir)
+			return errInterrupted
+		}
+		return err
+	}
+	if mgr != nil {
+		// The run is settled; a stale snapshot must not hijack the next
+		// -resume of a different experiment in the same directory.
+		if err := mgr.Remove(ckptName); err != nil {
+			fmt.Fprintf(os.Stderr, "pixelmc: remove checkpoint: %v\n", err)
+		}
+	}
+	return render(rep, *asJSON)
+}
+
+// runJob executes the job with periodic checkpoints and optional
+// progress reporting.
+func runJob(ctx context.Context, job *pixel.RobustnessJob, mgr *jobs.Manager, every time.Duration, progress bool) (pixel.RobustnessReport, error) {
+	var hooks pixel.RobustnessHooks
+	if progress {
+		restored, total := job.Progress()
+		start := time.Now()
+		lastLine := time.Time{}
+		points := 0
+		hooks.OnPoint = func(int, pixel.YieldPoint, *pixel.ProtectedPoint) { points++ }
+		hooks.OnTrial = func(done, _ int) {
+			now := time.Now()
+			if now.Sub(lastLine) < 500*time.Millisecond && done != total {
+				return
+			}
+			lastLine = now
+			line := fmt.Sprintf("pixelmc: %d/%d trials, %d sigma points done", done, total, points)
+			// Rate from this session only: restored trials were free.
+			if fresh := done - restored; fresh > 0 && done < total {
+				eta := time.Duration(float64(now.Sub(start)) / float64(fresh) * float64(total-done))
+				line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+
+	if mgr != nil && every > 0 {
+		stopSave := make(chan struct{})
+		defer close(stopSave)
+		go func() {
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := mgr.Save(ckptName, job); err != nil {
+						fmt.Fprintf(os.Stderr, "pixelmc: checkpoint failed: %v\n", err)
+					}
+				case <-stopSave:
+					return
+				}
+			}
+		}()
+	}
+	return job.Run(ctx, hooks)
+}
+
+func render(rep pixel.RobustnessReport, asJSON bool) error {
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)

@@ -129,38 +129,13 @@ func (e *Engine) SweepContext(ctx context.Context, network string, points []Poin
 // SweepNetworks fans one grid of design points out across several
 // networks in a single worker-pool run. The result map holds one
 // point-ordered slice per network; the total grid is evaluated
-// concurrently with shared-work memoization across networks.
+// concurrently with shared-work memoization across networks. For a
+// resumable run, build a SweepJob instead — this is the one-shot form
+// of the same machinery.
 func (e *Engine) SweepNetworks(ctx context.Context, networks []string, points []Point, opts *SweepOptions) (map[string][]Result, error) {
-	if len(networks) == 0 || len(points) == 0 {
-		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
-	}
-	jobs := make([]sweepeng.Job, 0, len(networks)*len(points))
-	for _, name := range networks {
-		if _, err := e.resolveNetwork(name); err != nil {
-			return nil, err
-		}
-		for _, p := range points {
-			job, err := p.engineJob(name)
-			if err != nil {
-				return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
-			}
-			if _, err := e.config(p); err != nil {
-				return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
-			}
-			jobs = append(jobs, job)
-		}
-	}
-	costs, err := e.eng.Run(ctx, jobs, opts.runOptions())
+	job, err := e.NewSweepJob(networks, points)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]Result, len(networks))
-	for ni, name := range networks {
-		results := make([]Result, len(points))
-		for pi, p := range points {
-			results[pi] = resultFromCost(name, p, costs[ni*len(points)+pi])
-		}
-		out[name] = results
-	}
-	return out, nil
+	return job.Run(ctx, opts)
 }

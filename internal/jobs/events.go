@@ -1,0 +1,133 @@
+package jobs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one progress notification of a job: a monotonically
+// increasing sequence number (the SSE event id, so reconnecting clients
+// can resume with Last-Event-ID), a type ("progress", "point",
+// "succeeded", "failed", "cancelled", ...) and an optional JSON
+// payload.
+type Event struct {
+	Seq  int64           `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Terminal event types: once one is appended the stream is complete and
+// subscribers can hang up.
+const (
+	EventSucceeded = "succeeded"
+	EventFailed    = "failed"
+	EventCancelled = "cancelled"
+)
+
+// Terminal reports whether the event ends its stream.
+func (e Event) Terminal() bool {
+	switch e.Type {
+	case EventSucceeded, EventFailed, EventCancelled:
+		return true
+	}
+	return false
+}
+
+// DefaultEventCap bounds an EventLog's retained history. Producers are
+// expected to throttle progress events (see ProgressStride) well below
+// it, so in practice the full history is retained and a reconnecting
+// client misses nothing; the cap is a safety valve against an unruly
+// producer, not a working limit.
+const DefaultEventCap = 8192
+
+// EventLog is an append-only, replayable event history with change
+// notification — the one stream both the CLI progress printer and the
+// server's SSE handlers consume. The zero value is not usable;
+// construct with NewEventLog. Safe for concurrent use.
+type EventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	nextSeq int64
+	dropped int64
+	cap     int
+	wake    chan struct{}
+}
+
+// NewEventLog returns a log starting at seq; cap <= 0 means
+// DefaultEventCap. A non-zero start seq is how a re-adopted job
+// continues its stream where the previous process left off.
+func NewEventLog(startSeq int64, capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{nextSeq: startSeq, cap: capacity, wake: make(chan struct{})}
+}
+
+// Append assigns the next sequence number to an event of the given type
+// and payload (marshalled to JSON; nil for none) and wakes subscribers.
+func (l *EventLog) Append(typ string, data any) (Event, error) {
+	var raw json.RawMessage
+	if data != nil {
+		buf, err := json.Marshal(data)
+		if err != nil {
+			return Event{}, err
+		}
+		raw = buf
+	}
+	l.mu.Lock()
+	e := Event{Seq: l.nextSeq, Type: typ, Data: raw}
+	l.nextSeq++
+	l.events = append(l.events, e)
+	if len(l.events) > l.cap {
+		over := len(l.events) - l.cap
+		l.events = append(l.events[:0:0], l.events[over:]...)
+		l.dropped += int64(over)
+	}
+	close(l.wake)
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+	return e, nil
+}
+
+// After returns a copy of every retained event with Seq > seq, in
+// order. Pass -1 for the full retained history.
+func (l *EventLog) After(seq int64) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := len(l.events)
+	for i > 0 && l.events[i-1].Seq > seq {
+		i--
+	}
+	return append([]Event(nil), l.events[i:]...)
+}
+
+// Changed returns a channel closed at the next Append. Grab it before
+// calling After to avoid missing a concurrent append, then select on it
+// when After comes back empty.
+func (l *EventLog) Changed() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wake
+}
+
+// NextSeq returns the sequence number the next event will get — the
+// value a checkpoint persists so a restarted job's stream stays
+// monotone.
+func (l *EventLog) NextSeq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// ProgressStride returns how many completions should pass between
+// progress events for a job of the given size: every completion for
+// small jobs, ~256 events across the run for large ones. Count-based
+// (not time-based) so event streams are deterministic for a given
+// schedule.
+func ProgressStride(total int) int {
+	stride := total / 256
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
+}

@@ -1,0 +1,128 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEventLogSeqAndReplay(t *testing.T) {
+	l := NewEventLog(0, 0)
+	for i := 0; i < 5; i++ {
+		e, err := l.Append("progress", map[string]int{"done": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d got seq %d", i, e.Seq)
+		}
+	}
+	if got := l.After(-1); len(got) != 5 {
+		t.Fatalf("After(-1) = %d events, want 5", len(got))
+	}
+	got := l.After(2)
+	if len(got) != 2 || got[0].Seq != 3 || got[1].Seq != 4 {
+		t.Fatalf("After(2) = %+v, want seqs 3,4", got)
+	}
+	if got := l.After(4); len(got) != 0 {
+		t.Fatalf("After(4) = %+v, want empty", got)
+	}
+	if l.NextSeq() != 5 {
+		t.Fatalf("NextSeq = %d, want 5", l.NextSeq())
+	}
+}
+
+func TestEventLogStartSeq(t *testing.T) {
+	l := NewEventLog(42, 0)
+	e, err := l.Append("adopted", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 42 {
+		t.Fatalf("restarted log first seq = %d, want 42", e.Seq)
+	}
+}
+
+// TestEventLogChanged pins the race-free subscription pattern: grabbing
+// Changed before After guarantees an append between the two calls is
+// not missed.
+func TestEventLogChanged(t *testing.T) {
+	l := NewEventLog(0, 0)
+	ch := l.Changed()
+	if got := l.After(-1); len(got) != 0 {
+		t.Fatalf("fresh log has %d events", len(got))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := l.Append("progress", nil); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-ch // must be closed by the append
+	<-done
+	if got := l.After(-1); len(got) != 1 {
+		t.Fatalf("after wake: %d events, want 1", len(got))
+	}
+}
+
+func TestEventLogCapDropsOldest(t *testing.T) {
+	l := NewEventLog(0, 4)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append("progress", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := l.After(-1)
+	if len(got) != 4 || got[0].Seq != 6 || got[3].Seq != 9 {
+		t.Fatalf("capped log = %+v, want seqs 6..9", got)
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(0, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := l.Append("progress", fmt.Sprintf("%d/%d", w, i)); err != nil {
+					t.Error(err)
+				}
+				l.After(int64(i))
+				l.Changed()
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := l.After(-1)
+	if len(evs) != 400 {
+		t.Fatalf("got %d events, want 400", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d; log not dense", i, e.Seq)
+		}
+	}
+}
+
+func TestProgressStride(t *testing.T) {
+	if ProgressStride(10) != 1 {
+		t.Fatalf("small jobs should emit every completion")
+	}
+	if s := ProgressStride(25600); s != 100 {
+		t.Fatalf("ProgressStride(25600) = %d, want 100", s)
+	}
+}
+
+func TestTerminalEvents(t *testing.T) {
+	for _, typ := range []string{EventSucceeded, EventFailed, EventCancelled} {
+		if !(Event{Type: typ}).Terminal() {
+			t.Fatalf("%s should be terminal", typ)
+		}
+	}
+	if (Event{Type: "progress"}).Terminal() {
+		t.Fatal("progress should not be terminal")
+	}
+}

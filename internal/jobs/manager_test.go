@@ -1,0 +1,175 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// memState is a trivial Checkpointable: its snapshot is its buffer.
+type memState struct{ buf []byte }
+
+func (m *memState) Snapshot() ([]byte, error) { return append([]byte(nil), m.buf...), nil }
+func (m *memState) Restore(b []byte) error    { m.buf = append([]byte(nil), b...); return nil }
+
+func TestManagerRoundTrip(t *testing.T) {
+	mgr, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("forty-two trials of one hundred")
+	if err := mgr.Save("run.ckpt", &memState{buf: want}); err != nil {
+		t.Fatal(err)
+	}
+	var back memState
+	if err := mgr.LoadInto("run.ckpt", &back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.buf, want) {
+		t.Fatalf("round trip changed payload: got %q want %q", back.buf, want)
+	}
+	// Overwrites are atomic replacements, not appends.
+	want2 := []byte("short")
+	if err := mgr.SaveBytes("run.ckpt", want2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mgr.Load("run.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want2) {
+		t.Fatalf("overwrite: got %q want %q", got, want2)
+	}
+}
+
+func TestManagerNotFound(t *testing.T) {
+	mgr, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Load("nope.ckpt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing snapshot: got %v, want ErrNotFound", err)
+	}
+	// Removing a missing snapshot is not an error.
+	if err := mgr.Remove("nope.ckpt"); err != nil {
+		t.Fatalf("remove missing: %v", err)
+	}
+}
+
+// TestManagerTornWrite is the corruption contract: a snapshot truncated
+// mid-file (as a crash mid-write before the rename could never produce,
+// but a torn disk can) must surface ErrCorrupt, never a short payload.
+func TestManagerTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("yield curve "), 64)
+	if err := mgr.SaveBytes("run.ckpt", payload); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "run.ckpt")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(full) - 1, len(full) / 2, snapshotHeaderLen, snapshotHeaderLen - 2, 3, 0} {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.Load("run.ckpt"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestManagerBitRot(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.SaveBytes("run.ckpt", []byte("pristine payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "run.ckpt")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[snapshotHeaderLen+4] ^= 0x20 // flip one payload bit
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Load("run.ckpt"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit rot: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestManagerVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.SaveBytes("run.ckpt", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "run.ckpt")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[7] = 0x7f // future format version
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mgr.Load("run.ckpt")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestManagerRejectsBadNames(t *testing.T) {
+	mgr, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "a/b", "../escape", ".hidden"} {
+		if err := mgr.SaveBytes(name, []byte("x")); err == nil {
+			t.Fatalf("name %q: save accepted, want error", name)
+		}
+		if _, err := mgr.Load(name); err == nil {
+			t.Fatalf("name %q: load accepted, want error", name)
+		}
+	}
+}
+
+func TestManagerList(t *testing.T) {
+	mgr, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"b.job", "a.job", "a.ckpt"} {
+		if err := mgr.SaveBytes(name, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := mgr.List(".job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a.job" || got[1] != "b.job" {
+		t.Fatalf("List(.job) = %v, want [a.job b.job]", got)
+	}
+	all, err := mgr.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("List() = %v, want 3 entries", all)
+	}
+}

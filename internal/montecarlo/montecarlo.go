@@ -232,14 +232,46 @@ type trialResult struct {
 	protCounters    protect.Counters
 }
 
+// Hooks observes a (resumable) run. All callbacks are serialized —
+// they never run concurrently with themselves or each other — and fire
+// from worker goroutines, so keep them fast.
+type Hooks struct {
+	// OnTrial fires after each trial slot completes with the cumulative
+	// completed count (restored slots included) and the total.
+	OnTrial func(done, total int)
+	// OnPoint fires when every trial of one σ slot has completed, with
+	// the aggregated point (and the paired protected point when the
+	// spec carries a scheme). Rows fully restored from a snapshot are
+	// reported up front, in axis order, before any new trial runs.
+	OnPoint func(index int, point SigmaPoint, protected *ProtectedPoint)
+}
+
 // Run executes the Monte-Carlo sweep: the baseline inference once,
 // then Trials×len(Sigmas) perturbed inferences across a worker pool.
 // Each trial builds its own PerturbedEngine (stateful, serial within
 // the trial) and the flattened (σ, trial) jobs land in fixed slots, so
 // the report is bit-identical for any Workers value.
 func Run(ctx context.Context, spec Spec) (*Report, error) {
+	return RunState(ctx, spec, NewState(spec, ""), Hooks{})
+}
+
+// RunState is Run over an explicit slot store: slots already completed
+// in st (restored from a checkpoint) are skipped, the rest execute
+// across the worker pool, and the final report aggregates both — which
+// is why an interrupted-then-resumed run is byte-identical to an
+// uninterrupted one at any worker count. st may be snapshotted
+// concurrently while RunState is in flight.
+func RunState(ctx context.Context, spec Spec, st *State, hooks Hooks) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	nSigma := len(spec.Sigmas)
+	jobs := nSigma * spec.Trials
+	if st == nil {
+		st = NewState(spec, "")
+	}
+	if st.total != jobs {
+		return nil, fmt.Errorf("%w: state has %d slots, spec needs %d", ErrSnapshotMismatch, st.total, jobs)
 	}
 	fast, err := bitserial.NewFastEngine(spec.Bits, spec.Terms)
 	if err != nil {
@@ -250,11 +282,44 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		return nil, fmt.Errorf("montecarlo: baseline inference: %w", err)
 	}
 	baseline := append([]int64(nil), base.Data...)
+	if err := st.setBaseline(baseline); err != nil {
+		return nil, err
+	}
 	baseArgmax := argmax(baseline)
 
-	nSigma := len(spec.Sigmas)
-	jobs := nSigma * spec.Trials
-	results := make([]trialResult, jobs)
+	// Per-σ-row outstanding counts drive OnPoint; rows the snapshot
+	// already completed are announced immediately, in axis order.
+	var hookMu sync.Mutex
+	rowLeft := make([]int, nSigma)
+	for i := range rowLeft {
+		rowLeft[i] = spec.Trials
+		for t := 0; t < spec.Trials; t++ {
+			if st.isDone(i*spec.Trials + t) {
+				rowLeft[i]--
+			}
+		}
+	}
+	emitPoint := func(i int) {
+		if hooks.OnPoint == nil {
+			return
+		}
+		row := st.results[i*spec.Trials : (i+1)*spec.Trials]
+		var prot *ProtectedPoint
+		if spec.Protection != nil {
+			p := aggregateProtected(spec.Sigmas[i], row, spec.ErrorBudget)
+			prot = &p
+		}
+		hooks.OnPoint(i, aggregate(spec.Sigmas[i], row, spec.ErrorBudget), prot)
+	}
+	for i := 0; i < nSigma; i++ {
+		if rowLeft[i] == 0 {
+			emitPoint(i)
+		}
+	}
+	if done, _ := st.Progress(); done > 0 && hooks.OnTrial != nil {
+		hooks.OnTrial(done, jobs)
+	}
+
 	workers := spec.Workers
 	if workers <= 0 || workers > jobs {
 		workers = clampWorkers(workers, jobs)
@@ -275,6 +340,9 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 				if j >= jobs {
 					return
 				}
+				if st.isDone(j) {
+					continue // restored from a checkpoint
+				}
 				if err := runCtx.Err(); err != nil {
 					errs[j] = err
 					return
@@ -286,7 +354,18 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 					cancel()
 					return
 				}
-				results[j] = res
+				completed := st.set(j, res)
+				if hooks.OnTrial != nil || hooks.OnPoint != nil {
+					hookMu.Lock()
+					if hooks.OnTrial != nil {
+						hooks.OnTrial(completed, jobs)
+					}
+					rowLeft[sigmaIdx]--
+					if rowLeft[sigmaIdx] == 0 {
+						emitPoint(sigmaIdx)
+					}
+					hookMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -321,13 +400,13 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		Points:      make([]SigmaPoint, nSigma),
 	}
 	for i := range rep.Points {
-		rep.Points[i] = aggregate(spec.Sigmas[i], results[i*spec.Trials:(i+1)*spec.Trials], spec.ErrorBudget)
+		rep.Points[i] = aggregate(spec.Sigmas[i], st.results[i*spec.Trials:(i+1)*spec.Trials], spec.ErrorBudget)
 	}
 	if spec.Protection != nil {
 		rep.Protection = spec.Protection.Name()
 		rep.Protected = make([]ProtectedPoint, nSigma)
 		for i := range rep.Protected {
-			rep.Protected[i] = aggregateProtected(spec.Sigmas[i], results[i*spec.Trials:(i+1)*spec.Trials], spec.ErrorBudget)
+			rep.Protected[i] = aggregateProtected(spec.Sigmas[i], st.results[i*spec.Trials:(i+1)*spec.Trials], spec.ErrorBudget)
 		}
 	}
 	return rep, nil

@@ -1,0 +1,247 @@
+package montecarlo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrSnapshotMismatch reports a snapshot taken under a different spec
+// (or a baseline that no longer reproduces) — resuming from it would
+// silently mix two different experiments, so it is refused.
+var ErrSnapshotMismatch = errors.New("montecarlo: snapshot does not match this spec")
+
+// State is the resumable slot store of one Monte-Carlo run: which
+// (σ, trial) slots have completed and their results. Because every
+// trial derives its perturbation and fault-stream seeds from
+// (spec.Seed, trial) alone — never from scheduling or from other
+// trials' RNG consumption — a snapshot needs no engine RNG positions:
+// the completed slots plus the spec pin the remaining randomness
+// exactly, and a resumed run is bit-identical to an uninterrupted one.
+//
+// A State is safe to Snapshot concurrently with the RunState that is
+// filling it. Construct with NewState.
+type State struct {
+	fp    [32]byte
+	total int
+
+	mu           sync.Mutex
+	haveBaseline bool
+	baseline     []int64
+	done         []bool
+	results      []trialResult
+	completed    int
+}
+
+// NewState allocates the slot store for one run of spec. key is extra
+// caller identity folded into the spec fingerprint (the public facade
+// passes the network name, which the internal spec cannot see).
+func NewState(spec Spec, key string) *State {
+	n := len(spec.Sigmas) * spec.Trials
+	if n < 0 {
+		n = 0
+	}
+	return &State{
+		fp:      spec.fingerprint(key),
+		total:   n,
+		done:    make([]bool, n),
+		results: make([]trialResult, n),
+	}
+}
+
+// fingerprint hashes every result-determining field of the spec (plus
+// the caller's key) so a snapshot can refuse to restore under a
+// different experiment. Workers is deliberately absent: the report is
+// bit-identical at any pool width, so resuming under a different width
+// is legal.
+func (s Spec) fingerprint(key string) [32]byte {
+	prot := ""
+	if s.Protection != nil {
+		prot = s.Protection.Name()
+	}
+	return sha256.Sum256([]byte(fmt.Sprintf(
+		"montecarlo-v1|%s|%d|%d|%d|%d|%d|%v|%v|%v|%s",
+		key, s.Design, s.Bits, s.Terms, s.Trials, s.Seed,
+		s.Sigmas, s.ErrorBudget, s.Variation, prot)))
+}
+
+// Progress returns completed and total slot counts.
+func (st *State) Progress() (done, total int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.completed, st.total
+}
+
+// isDone reports whether slot j already holds a result.
+func (st *State) isDone(j int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.done[j]
+}
+
+// set records slot j's result and returns the cumulative count.
+func (st *State) set(j int, res trialResult) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.done[j] {
+		st.done[j] = true
+		st.results[j] = res
+		st.completed++
+	}
+	return st.completed
+}
+
+// setBaseline installs (or cross-checks) the baseline output. A
+// restored snapshot's baseline must match the freshly computed one
+// bit-for-bit; anything else means the snapshot belongs to a different
+// experiment.
+func (st *State) setBaseline(baseline []int64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.haveBaseline {
+		if len(st.baseline) != len(baseline) {
+			return fmt.Errorf("%w: baseline length %d != %d", ErrSnapshotMismatch, len(st.baseline), len(baseline))
+		}
+		for i, v := range st.baseline {
+			if v != baseline[i] {
+				return fmt.Errorf("%w: baseline diverges at output %d", ErrSnapshotMismatch, i)
+			}
+		}
+		return nil
+	}
+	st.haveBaseline = true
+	st.baseline = append([]int64(nil), baseline...)
+	return nil
+}
+
+// TrialRecord is the exported wire form of one completed trial inside a
+// snapshot (the in-memory trialResult keeps its fields private).
+type TrialRecord struct {
+	Mismatch    float64
+	ArgmaxOK    bool
+	InjectedBER float64
+	Clean       bool
+
+	ProtMismatch      float64
+	ProtArgmaxOK      bool
+	ProtInjectedBER   float64
+	ProtClean         bool
+	ProtCalls         int64
+	ProtRetries       int64
+	ProtDisagreements int64
+	ProtGaveUp        int64
+}
+
+func toRecord(r trialResult) TrialRecord {
+	return TrialRecord{
+		Mismatch:    r.mismatch,
+		ArgmaxOK:    r.argmaxOK,
+		InjectedBER: r.injectedBER,
+		Clean:       r.clean,
+
+		ProtMismatch:      r.protMismatch,
+		ProtArgmaxOK:      r.protArgmaxOK,
+		ProtInjectedBER:   r.protInjectedBER,
+		ProtClean:         r.protClean,
+		ProtCalls:         r.protCounters.Calls,
+		ProtRetries:       r.protCounters.Retries,
+		ProtDisagreements: r.protCounters.Disagreements,
+		ProtGaveUp:        r.protCounters.GaveUp,
+	}
+}
+
+func fromRecord(r TrialRecord) trialResult {
+	out := trialResult{
+		mismatch:    r.Mismatch,
+		argmaxOK:    r.ArgmaxOK,
+		injectedBER: r.InjectedBER,
+		clean:       r.Clean,
+
+		protMismatch:    r.ProtMismatch,
+		protArgmaxOK:    r.ProtArgmaxOK,
+		protInjectedBER: r.ProtInjectedBER,
+		protClean:       r.ProtClean,
+	}
+	out.protCounters.Calls = r.ProtCalls
+	out.protCounters.Retries = r.ProtRetries
+	out.protCounters.Disagreements = r.ProtDisagreements
+	out.protCounters.GaveUp = r.ProtGaveUp
+	return out
+}
+
+// snapshotV1 is the gob payload of a State snapshot. Only completed
+// slots ship records, so early checkpoints stay small.
+type snapshotV1 struct {
+	Fingerprint  [32]byte
+	Total        int
+	HaveBaseline bool
+	Baseline     []int64
+	DoneSlots    []int
+	Records      []TrialRecord
+}
+
+// Snapshot encodes the completed slots. Safe to call while a RunState
+// on the same State is in flight — it sees a consistent prefix of the
+// completed work.
+func (st *State) Snapshot() ([]byte, error) {
+	st.mu.Lock()
+	snap := snapshotV1{
+		Fingerprint:  st.fp,
+		Total:        st.total,
+		HaveBaseline: st.haveBaseline,
+		Baseline:     append([]int64(nil), st.baseline...),
+	}
+	for j, d := range st.done {
+		if d {
+			snap.DoneSlots = append(snap.DoneSlots, j)
+			snap.Records = append(snap.Records, toRecord(st.results[j]))
+		}
+	}
+	st.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("montecarlo: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore reinstalls a snapshot into a freshly constructed State for
+// the same spec. Snapshots from a different spec (or a different
+// snapshot geometry) are refused with ErrSnapshotMismatch.
+func (st *State) Restore(payload []byte) error {
+	var snap snapshotV1
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return fmt.Errorf("montecarlo: decode snapshot: %w", err)
+	}
+	if snap.Fingerprint != st.fp {
+		return fmt.Errorf("%w: spec fingerprint differs", ErrSnapshotMismatch)
+	}
+	if snap.Total != st.total {
+		return fmt.Errorf("%w: %d slots, spec has %d", ErrSnapshotMismatch, snap.Total, st.total)
+	}
+	if len(snap.DoneSlots) != len(snap.Records) {
+		return fmt.Errorf("%w: %d done slots but %d records", ErrSnapshotMismatch, len(snap.DoneSlots), len(snap.Records))
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.haveBaseline = snap.HaveBaseline
+	st.baseline = append([]int64(nil), snap.Baseline...)
+	st.done = make([]bool, st.total)
+	st.results = make([]trialResult, st.total)
+	st.completed = 0
+	for i, j := range snap.DoneSlots {
+		if j < 0 || j >= st.total {
+			return fmt.Errorf("%w: slot %d out of range", ErrSnapshotMismatch, j)
+		}
+		if st.done[j] {
+			return fmt.Errorf("%w: slot %d recorded twice", ErrSnapshotMismatch, j)
+		}
+		st.done[j] = true
+		st.results[j] = fromRecord(snap.Records[i])
+		st.completed++
+	}
+	return nil
+}

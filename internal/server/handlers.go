@@ -11,6 +11,7 @@ import (
 
 	"pixel"
 	"pixel/api"
+	"pixel/internal/jobs"
 )
 
 // statusClientClosedRequest is the nginx-convention status recorded
@@ -47,6 +48,7 @@ var errorTable = []struct {
 	code   string
 }{
 	{errShed, http.StatusTooManyRequests, "overloaded"},
+	{jobs.ErrRegistryFull, http.StatusTooManyRequests, "overloaded"},
 	{pixel.ErrUnknownNetwork, http.StatusNotFound, "unknown_network"},
 	{pixel.ErrUnknownDesign, http.StatusBadRequest, "unknown_design"},
 	{pixel.ErrBadPrecision, http.StatusBadRequest, "bad_precision"},

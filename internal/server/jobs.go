@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"pixel"
+	"pixel/api"
+	"pixel/internal/jobs"
+)
+
+// JobsConfig enables the durable asynchronous job routes:
+//
+//	POST   /v1/jobs              submit a robustness or sweep job
+//	GET    /v1/jobs/{id}         status + partial results
+//	GET    /v1/jobs/{id}/events  server-sent event stream
+//	DELETE /v1/jobs/{id}         cancel / forget
+//
+// Jobs checkpoint through Manager (when set) so a restarted server
+// re-adopts unfinished work and resumes it bit-exactly; see docs/JOBS.md.
+type JobsConfig struct {
+	// Manager persists job records and checkpoints; nil keeps jobs in
+	// memory only (no restart recovery).
+	Manager *jobs.Manager
+	// MaxJobs bounds tracked jobs; <= 0 means jobs.DefaultMaxJobs.
+	MaxJobs int
+	// MaxRunning bounds concurrently executing jobs; <= 0 means
+	// jobs.DefaultMaxRunning. Excess jobs queue.
+	MaxRunning int
+	// TTL retains finished jobs for status queries; <= 0 means
+	// jobs.DefaultTTL.
+	TTL time.Duration
+	// SaveEvery is the periodic checkpoint cadence; <= 0 means
+	// jobs.DefaultSaveEvery.
+	SaveEvery time.Duration
+	// Heartbeat is the SSE keep-alive comment cadence; <= 0 means
+	// DefaultJobHeartbeat.
+	Heartbeat time.Duration
+	// Factory overrides the built-in (robustness, sweep) task factory —
+	// a test seam. nil means the pixel-facade factory.
+	Factory jobs.Factory
+}
+
+// DefaultJobHeartbeat is the SSE keep-alive cadence when
+// JobsConfig.Heartbeat is unset.
+const DefaultJobHeartbeat = 15 * time.Second
+
+// setupJobs builds the registry from cfg and recovers persisted jobs.
+func (s *Server) setupJobs(cfg *JobsConfig) {
+	if cfg == nil {
+		return
+	}
+	factory := cfg.Factory
+	if factory == nil {
+		factory = s.buildJobTask
+	}
+	s.heartbeat = cfg.Heartbeat
+	if s.heartbeat <= 0 {
+		s.heartbeat = DefaultJobHeartbeat
+	}
+	s.registry = jobs.NewRegistry(jobs.RegistryOptions{
+		Factory:    factory,
+		Manager:    cfg.Manager,
+		MaxJobs:    cfg.MaxJobs,
+		MaxRunning: cfg.MaxRunning,
+		TTL:        cfg.TTL,
+		SaveEvery:  cfg.SaveEvery,
+		Logger:     s.logger,
+	})
+	resumed, err := s.registry.Recover()
+	if err != nil {
+		s.logger.Warn("job recovery failed", "err", err)
+	}
+	if resumed > 0 {
+		s.logger.Info("re-adopted unfinished jobs", "resumed", resumed)
+		s.metrics.jobsResumed.Add(int64(resumed))
+	}
+}
+
+// Close releases the server's background machinery (the job registry;
+// running jobs flush a final checkpoint and persist as unfinished).
+// Serve calls it after drain; call it directly when using Handler with
+// your own http.Server.
+func (s *Server) Close() {
+	if s.registry != nil {
+		s.registry.Close()
+	}
+}
+
+// strictUnmarshal is decodeJSON's body-less twin for job specs: unknown
+// fields fail loudly at submission, not at some later re-adoption.
+func strictUnmarshal(spec json.RawMessage, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(spec))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequestf("bad job spec: %v", err)
+	}
+	return nil
+}
+
+// buildJobTask is the built-in jobs.Factory: it validates the spec with
+// the same limits as the synchronous routes (a job must not be a way
+// around them) and wraps the pixel facade's resumable jobs.
+func (s *Server) buildJobTask(kind string, spec json.RawMessage) (jobs.Task, error) {
+	switch kind {
+	case api.JobKindRobustness:
+		var req api.RobustnessRequest
+		if err := strictUnmarshal(spec, &req); err != nil {
+			return nil, err
+		}
+		d, err := pixel.ParseDesign(req.Design)
+		if err != nil {
+			return nil, err
+		}
+		if req.Trials > s.maxTrials {
+			return nil, badRequestf("trials %d exceeds the %d-trial limit", req.Trials, s.maxTrials)
+		}
+		if len(req.Sigmas) > maxSigmaPoints {
+			return nil, badRequestf("sigma axis of %d points exceeds the %d-point limit", len(req.Sigmas), maxSigmaPoints)
+		}
+		job, err := pixel.NewRobustnessJob(pixel.RobustnessSpec{
+			Network:     req.Network,
+			Design:      d,
+			Sigmas:      req.Sigmas,
+			Trials:      req.Trials,
+			Seed:        req.Seed,
+			ErrorBudget: req.ErrorBudget,
+			Protection:  req.Protection,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &robustnessTask{job: job, points: map[int]api.JobPoint{}}, nil
+
+	case api.JobKindSweep:
+		var req api.SweepRequest
+		if err := strictUnmarshal(spec, &req); err != nil {
+			return nil, err
+		}
+		if len(req.Networks) == 0 {
+			return nil, badRequestf("networks must be non-empty")
+		}
+		if len(req.Lanes) == 0 || len(req.Bits) == 0 {
+			return nil, badRequestf("lanes and bits axes must be non-empty")
+		}
+		designs := pixel.Designs()
+		if len(req.Designs) > 0 {
+			designs = designs[:0]
+			for _, name := range req.Designs {
+				d, err := pixel.ParseDesign(name)
+				if err != nil {
+					return nil, err
+				}
+				designs = append(designs, d)
+			}
+		}
+		points := pixel.Grid(designs, req.Lanes, req.Bits)
+		if n := len(req.Networks) * len(points); n > maxSweepJobs {
+			return nil, badRequestf("sweep of %d jobs exceeds the %d-job limit", n, maxSweepJobs)
+		}
+		var job *pixel.SweepJob
+		var err error
+		if eng, ok := s.engine.(*pixel.Engine); ok {
+			job, err = eng.NewSweepJob(req.Networks, points)
+		} else {
+			job, err = pixel.NewSweepJob(req.Networks, points)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &sweepTask{job: job, points: len(points)}, nil
+
+	default:
+		return nil, badRequestf("unknown job kind %q (have %q, %q)", kind, api.JobKindRobustness, api.JobKindSweep)
+	}
+}
+
+// robustnessTask adapts a pixel.RobustnessJob to jobs.Task: progress
+// events at a bounded stride, one "point" event per completed σ point,
+// completed points as the poll-time partial result.
+type robustnessTask struct {
+	job *pixel.RobustnessJob
+
+	mu     sync.Mutex
+	points map[int]api.JobPoint
+}
+
+func (t *robustnessTask) Snapshot() ([]byte, error) { return t.job.Snapshot() }
+func (t *robustnessTask) Restore(b []byte) error    { return t.job.Restore(b) }
+func (t *robustnessTask) Progress() (int, int)      { return t.job.Progress() }
+
+// Partial returns the σ points completed so far, in axis order.
+func (t *robustnessTask) Partial() any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]api.JobPoint, 0, len(t.points))
+	for _, p := range t.points {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+func (t *robustnessTask) Run(ctx context.Context, emit func(string, any)) (any, error) {
+	_, total := t.job.Progress()
+	stride := jobs.ProgressStride(total)
+	rep, err := t.job.Run(ctx, pixel.RobustnessHooks{
+		OnTrial: func(done, total int) {
+			if done%stride == 0 || done == total {
+				emit(api.JobEventProgress, api.JobProgress{Done: done, Total: total})
+			}
+		},
+		OnPoint: func(i int, p pixel.YieldPoint, prot *pixel.ProtectedPoint) {
+			jp := api.JobPoint{Index: i, Point: p, Protected: prot}
+			t.mu.Lock()
+			t.points[i] = jp
+			t.mu.Unlock()
+			emit(api.JobEventPoint, jp)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// sweepTask adapts a pixel.SweepJob to jobs.Task.
+type sweepTask struct {
+	job    *pixel.SweepJob
+	points int
+}
+
+func (t *sweepTask) Snapshot() ([]byte, error) { return t.job.Snapshot() }
+func (t *sweepTask) Restore(b []byte) error    { return t.job.Restore(b) }
+func (t *sweepTask) Progress() (int, int)      { return t.job.Progress() }
+
+func (t *sweepTask) Run(ctx context.Context, emit func(string, any)) (any, error) {
+	_, total := t.job.Progress()
+	stride := jobs.ProgressStride(total)
+	byNet, err := t.job.Run(ctx, &pixel.SweepOptions{
+		Progress: func(done, total int) {
+			if done%stride == 0 || done == total {
+				emit(api.JobEventProgress, api.JobProgress{Done: done, Total: total})
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := api.SweepResponse{Points: t.points, Results: make(map[string][]api.Result, len(byNet))}
+	for name, results := range byNet {
+		rows := make([]api.Result, len(results))
+		for i, res := range results {
+			rows[i] = api.FromResult(res, false)
+		}
+		resp.Results[name] = rows
+	}
+	return resp, nil
+}
+
+// jobsDisabled is the 501 every job route answers when the registry is
+// not configured.
+func (s *Server) jobsDisabled(w http.ResponseWriter) bool {
+	if s.registry != nil {
+		return false
+	}
+	s.writeError(w, &httpError{
+		status: http.StatusNotImplemented,
+		code:   "not_implemented",
+		msg:    "durable jobs are not enabled on this server",
+	})
+	return true
+}
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	if s.jobsDisabled(w) {
+		return
+	}
+	var req api.JobRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var spec any
+	switch req.Kind {
+	case api.JobKindRobustness:
+		if req.Robustness == nil {
+			s.writeError(w, badRequestf("kind %q requires a robustness spec", req.Kind))
+			return
+		}
+		spec = req.Robustness
+	case api.JobKindSweep:
+		if req.Sweep == nil {
+			s.writeError(w, badRequestf("kind %q requires a sweep spec", req.Kind))
+			return
+		}
+		spec = req.Sweep
+	default:
+		s.writeError(w, badRequestf("unknown job kind %q (have %q, %q)", req.Kind, api.JobKindRobustness, api.JobKindSweep))
+		return
+	}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("encode job spec: %w", err))
+		return
+	}
+	j, err := s.registry.Create(req.Kind, buf)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.metrics.jobsCreated.Add(1)
+	st := s.registry.Snapshot(j)
+	writeJSON(w, http.StatusAccepted, api.JobHandle{ID: j.ID, Kind: j.Kind, State: string(st.State)})
+}
+
+// jobByPath resolves {id}; a miss writes the 404 and returns nil.
+func (s *Server) jobByPath(w http.ResponseWriter, r *http.Request) *jobs.Job {
+	id := r.PathValue("id")
+	j, ok := s.registry.Get(id)
+	if !ok {
+		s.writeError(w, &httpError{status: http.StatusNotFound, code: "not_found", msg: fmt.Sprintf("no job %q", id)})
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.jobsDisabled(w) {
+		return
+	}
+	j := s.jobByPath(w, r)
+	if j == nil {
+		return
+	}
+	st := s.registry.Snapshot(j)
+	resp := api.JobStatusResponse{
+		ID:          st.ID,
+		Kind:        st.Kind,
+		State:       string(st.State),
+		Done:        st.Done,
+		Total:       st.Total,
+		CreatedUnix: st.CreatedUnix,
+		Adopted:     st.Adopted,
+		Error:       st.Error,
+		Result:      json.RawMessage(st.Result),
+	}
+	if st.Partial != nil {
+		if buf, err := json.Marshal(st.Partial); err == nil {
+			resp.Partial = buf
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	if s.jobsDisabled(w) {
+		return
+	}
+	id := r.PathValue("id")
+	if err := s.registry.Delete(id); err != nil {
+		s.writeError(w, &httpError{status: http.StatusNotFound, code: "not_found", msg: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleJobEvents streams the job's event log as server-sent events.
+// Events are replayed from Last-Event-ID (every event since process
+// start is retained, and seqs stay monotone across restarts), comment
+// heartbeats keep idle connections alive, and the stream closes after
+// the terminal event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	if s.jobsDisabled(w) {
+		return
+	}
+	j := s.jobByPath(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	last := int64(-1)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		seq, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			s.writeError(w, badRequestf("bad Last-Event-ID %q", v))
+			return
+		}
+		last = seq
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(s.heartbeat)
+	defer heartbeat.Stop()
+	for {
+		ch := j.Events.Changed()
+		for _, e := range j.Events.After(last) {
+			fmt.Fprintf(w, "id: %d\nevent: %s\n", e.Seq, e.Type)
+			if len(e.Data) > 0 {
+				fmt.Fprintf(w, "data: %s\n", e.Data)
+			}
+			fmt.Fprint(w, "\n")
+			last = e.Seq
+			if e.Terminal() {
+				flusher.Flush()
+				return
+			}
+		}
+		// A job recovered in a terminal state has no terminal event in
+		// its post-restart log; synthesize one so streams still end.
+		if st := s.registry.Snapshot(j); st.State.Terminal() && j.Events.NextSeq() == last+1 {
+			data, _ := json.Marshal(api.JobProgress{Done: st.Done, Total: st.Total, Error: st.Error})
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", j.Events.NextSeq(), st.State, data)
+			flusher.Flush()
+			return
+		}
+		flusher.Flush()
+		select {
+		case <-ch:
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

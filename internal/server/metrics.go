@@ -27,6 +27,8 @@ type metrics struct {
 	coalesced    atomic.Int64 // requests that shared another's flight
 	inferBatches atomic.Int64 // batched /v1/infer engine passes
 	inferImages  atomic.Int64 // images served across those passes
+	jobsCreated  atomic.Int64 // durable jobs admitted via POST /v1/jobs
+	jobsResumed  atomic.Int64 // jobs re-adopted from checkpoints at startup
 
 	mu        sync.Mutex
 	requests  map[routeCode]int64       // completed requests by route+status
@@ -108,6 +110,14 @@ func (m *metrics) write(w io.Writer, eng engineStats) {
 	fmt.Fprintln(w, "# HELP pixeld_infer_images_total Images served across batched /v1/infer passes.")
 	fmt.Fprintln(w, "# TYPE pixeld_infer_images_total counter")
 	fmt.Fprintf(w, "pixeld_infer_images_total %d\n", m.inferImages.Load())
+
+	fmt.Fprintln(w, "# HELP pixeld_jobs_created_total Durable jobs admitted via POST /v1/jobs.")
+	fmt.Fprintln(w, "# TYPE pixeld_jobs_created_total counter")
+	fmt.Fprintf(w, "pixeld_jobs_created_total %d\n", m.jobsCreated.Load())
+
+	fmt.Fprintln(w, "# HELP pixeld_jobs_resumed_total Jobs re-adopted from checkpoints at startup.")
+	fmt.Fprintln(w, "# TYPE pixeld_jobs_resumed_total counter")
+	fmt.Fprintf(w, "pixeld_jobs_resumed_total %d\n", m.jobsResumed.Load())
 
 	if eng != nil {
 		fmt.Fprintln(w, "# HELP pixeld_engine_cost_calls_total Evaluations actually priced by the engine (result-LRU misses).")

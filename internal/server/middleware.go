@@ -24,6 +24,14 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards streaming support so SSE handlers can push events
+// through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with the serving middleware: in-flight
 // gauge, per-route request/latency metrics and a structured log line
 // per request. route is the metric label (the registration pattern

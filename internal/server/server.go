@@ -14,6 +14,10 @@
 //	POST /v1/map         schedule a network onto a tile grid
 //	POST /v1/robustness  Monte-Carlo variation-to-yield sweep
 //	POST /v1/infer       batched quantized inference (micro-batched)
+//	POST   /v1/jobs              submit a durable robustness/sweep job
+//	GET    /v1/jobs/{id}         job status + partial results
+//	GET    /v1/jobs/{id}/events  job progress as server-sent events
+//	DELETE /v1/jobs/{id}         cancel or forget a job
 //	GET  /v1/networks    the CNN zoo
 //	GET  /v1/designs     the MAC designs
 //	GET  /healthz        liveness
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	"pixel"
+	"pixel/internal/jobs"
 )
 
 // Evaluator is the engine surface the server serves: single-point and
@@ -90,6 +95,9 @@ type Config struct {
 	// RequestTimeout is the per-request evaluation deadline, enforced
 	// via context through the engine; <= 0 means DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// Jobs enables the durable asynchronous job routes (/v1/jobs and
+	// friends); nil disables them (501). See JobsConfig.
+	Jobs *JobsConfig
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -119,6 +127,9 @@ type Server struct {
 	evalFlights   *flightGroup[pixel.Result]
 	sweepFlights  *flightGroup[map[string][]pixel.Result]
 	robustFlights *flightGroup[pixel.RobustnessReport]
+
+	registry  *jobs.Registry
+	heartbeat time.Duration
 }
 
 // New builds a Server from cfg, applying defaults to unset knobs.
@@ -176,6 +187,7 @@ func New(cfg Config) *Server {
 			return s.infer.InferContext(ctx, pixel.InferSpec{Network: network, Images: images})
 		}, cfg.BatchSize, cfg.BatchWindow)
 	}
+	s.setupJobs(cfg.Jobs)
 	return s
 }
 
@@ -192,6 +204,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/map", s.instrument("/v1/map", s.handleMap))
 	mux.Handle("POST /v1/robustness", s.instrument("/v1/robustness", s.handleRobustness))
 	mux.Handle("POST /v1/infer", s.instrument("/v1/infer", s.handleInfer))
+	mux.Handle("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobCreate))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobDelete))
+	mux.Handle("GET /v1/jobs/{id}/events", s.instrument("/v1/jobs/{id}/events", s.handleJobEvents))
 	return mux
 }
 
@@ -221,5 +237,8 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 		// this flushes any partial batch whose window never filled.
 		s.batcher.Close()
 	}
+	// Running jobs flush a final checkpoint and persist as unfinished,
+	// so the next pixeld process re-adopts them.
+	s.Close()
 	return err
 }

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// interruptSweep runs jobs on a fresh engine until about k points have
+// been priced, then cancels and snapshots the partial state.
+func interruptSweep(t *testing.T, jobs []Job, k, workers int) []byte {
+	t.Helper()
+	e := New(Options{Workers: workers})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st := NewState(jobs)
+	_, err := e.RunState(ctx, jobs, st, RunOptions{
+		Progress: func(done, total int) {
+			if done >= k {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep: err = %v, want context.Canceled", err)
+	}
+	done, total := st.Progress()
+	if done == 0 || done >= total {
+		t.Fatalf("interrupted at %d/%d slots; need a strict non-empty prefix", done, total)
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestSweepResumeBitExact: kill a sweep mid-grid, resume its snapshot
+// on a COLD engine (no memoized results to lean on) at a different
+// worker count, and the merged output must be byte-identical to an
+// uninterrupted run.
+func TestSweepResumeBitExact(t *testing.T) {
+	jobs := jobsFor("LeNet", grid4x4())
+
+	straight, err := New(Options{Workers: 2}).Run(context.Background(), jobs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name                      string
+		cutAt                     int
+		cutWorkers, resumeWorkers int
+	}{
+		{"serial", 3, 1, 1},
+		{"parallel", 7, 4, 4},
+		{"repool", 5, 1, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := interruptSweep(t, jobs, tc.cutAt, tc.cutWorkers)
+			st := NewState(jobs)
+			if err := st.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			restored, _ := st.Progress()
+			e := New(Options{Workers: tc.resumeWorkers})
+			got, err := e.RunState(context.Background(), jobs, st, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The restored prefix must not be re-priced.
+			if calls := e.CostCalls(); calls != int64(len(jobs)-restored) {
+				t.Fatalf("resume priced %d points, want %d (restored %d of %d)",
+					calls, len(jobs)-restored, restored, len(jobs))
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotJSON, want) {
+				t.Fatalf("resumed sweep differs from straight run:\n%s\nwant\n%s", gotJSON, want)
+			}
+		})
+	}
+}
+
+// TestSweepResumeProgressCumulative: a resumed run reports restored
+// slots as already done, and the count climbs to the full total.
+func TestSweepResumeProgressCumulative(t *testing.T) {
+	jobs := jobsFor("LeNet", grid4x4())
+	snap := interruptSweep(t, jobs, 4, 2)
+	st := NewState(jobs)
+	if err := st.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := st.Progress()
+	var first, last int
+	_, err := New(Options{Workers: 1}).RunState(context.Background(), jobs, st, RunOptions{
+		Progress: func(done, total int) {
+			if first == 0 {
+				first = done
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != restored {
+		t.Fatalf("first progress report = %d, want restored count %d", first, restored)
+	}
+	if last != len(jobs) {
+		t.Fatalf("final progress report = %d, want %d", last, len(jobs))
+	}
+}
+
+// TestSweepRestoreRejectsForeignSnapshot: a snapshot refuses a
+// different grid, a reordered grid, and torn payloads.
+func TestSweepRestoreRejectsForeignSnapshot(t *testing.T) {
+	jobs := jobsFor("LeNet", grid4x4())
+	snap := interruptSweep(t, jobs, 4, 2)
+
+	if err := NewState(jobs[:len(jobs)-1]).Restore(snap); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("shorter grid: err = %v, want ErrSnapshotMismatch", err)
+	}
+	reordered := append([]Job(nil), jobs...)
+	reordered[0], reordered[1] = reordered[1], reordered[0]
+	if err := NewState(reordered).Restore(snap); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("reordered grid: err = %v, want ErrSnapshotMismatch", err)
+	}
+	otherNet := jobsFor("AlexNet", grid4x4())
+	if err := NewState(otherNet).Restore(snap); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("different network: err = %v, want ErrSnapshotMismatch", err)
+	}
+	if err := NewState(jobs).Restore(snap[:len(snap)/2]); err == nil {
+		t.Fatal("truncated snapshot restored without error")
+	}
+}

@@ -210,8 +210,25 @@ func (e *Engine) EvaluateNetwork(ctx context.Context, net cnn.Network, p Point) 
 // input order is reported, exactly as the old serial loop did. On
 // cancellation Run returns promptly with the context's error.
 func (e *Engine) Run(ctx context.Context, jobs []Job, opts RunOptions) ([]arch.NetworkCost, error) {
+	return e.RunState(ctx, jobs, NewState(jobs), opts)
+}
+
+// RunState is Run over an explicit slot store: jobs already priced in
+// st (restored from a checkpoint) are skipped, the rest evaluate
+// across the worker pool, and the returned slice merges both — which
+// is why an interrupted-then-resumed sweep is bit-identical to an
+// uninterrupted one at any worker count. Progress counts restored
+// slots as already done. st may be snapshotted concurrently while
+// RunState is in flight.
+func (e *Engine) RunState(ctx context.Context, jobs []Job, st *State, opts RunOptions) ([]arch.NetworkCost, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if st == nil {
+		st = NewState(jobs)
+	}
+	if st.total != len(jobs) {
+		return nil, fmt.Errorf("%w: state has %d slots, run has %d jobs", ErrSnapshotMismatch, st.total, len(jobs))
 	}
 	for _, j := range jobs {
 		if _, err := e.Network(j.Network); err != nil {
@@ -236,12 +253,13 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, opts RunOptions) ([]arch.N
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	out := make([]arch.NetworkCost, len(jobs))
 	errs := make([]error, len(jobs))
 	var next atomic.Int64
 	next.Store(-1)
-	var done int
 	var progressMu sync.Mutex
+	if done, _ := st.Progress(); done > 0 && opts.Progress != nil {
+		opts.Progress(done, len(jobs))
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -252,16 +270,19 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, opts RunOptions) ([]arch.N
 				if i >= len(jobs) {
 					return
 				}
+				if st.isDone(i) {
+					continue // restored from a checkpoint
+				}
 				c, err := e.Evaluate(runCtx, jobs[i])
-				out[i], errs[i] = c, err
 				if err != nil {
+					errs[i] = err
 					cancel() // abandon the rest of the grid
 					return
 				}
+				completed := st.set(i, c)
 				if opts.Progress != nil {
 					progressMu.Lock()
-					done++
-					opts.Progress(done, len(jobs))
+					opts.Progress(completed, len(jobs))
 					progressMu.Unlock()
 				}
 			}
@@ -290,7 +311,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, opts RunOptions) ([]arch.N
 	if cancelled != nil {
 		return nil, cancelled
 	}
-	return out, nil
+	return st.costs(), nil
 }
 
 // Grid enumerates the cross product of the axes in the canonical

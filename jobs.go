@@ -1,0 +1,213 @@
+package pixel
+
+import (
+	"context"
+	"fmt"
+
+	"pixel/internal/arch"
+	"pixel/internal/montecarlo"
+	"pixel/internal/protect"
+	sweepeng "pixel/internal/sweep"
+)
+
+// ErrSnapshotMismatch reports a checkpoint snapshot that was taken
+// under a different spec — restoring it would silently mix two
+// experiments, so it is refused. See docs/JOBS.md.
+var ErrSnapshotMismatch = montecarlo.ErrSnapshotMismatch
+
+// RobustnessHooks observes a resumable robustness run. Callbacks are
+// serialized and fire from worker goroutines; keep them fast.
+type RobustnessHooks struct {
+	// OnTrial fires after each Monte-Carlo trial with the cumulative
+	// completed count (snapshot-restored trials included) and the total.
+	OnTrial func(done, total int)
+	// OnPoint fires once per σ point as soon as all of its trials have
+	// completed — out of axis order in general, since trials complete
+	// across a worker pool. prot is non-nil when the spec carries a
+	// protection scheme. Points fully restored from a snapshot are
+	// announced up front, in axis order.
+	OnPoint func(index int, point YieldPoint, prot *ProtectedPoint)
+}
+
+// RobustnessJob is a resumable robustness run: the spec plus the slot
+// store of completed trials. Snapshot captures the completed work;
+// Restore into a job built from the same spec and Run finishes the
+// remainder, producing a report byte-identical to an uninterrupted run
+// at any worker count (see docs/JOBS.md for why that holds).
+//
+// A job is single-flight: call Run once. Snapshot and Progress are
+// safe concurrently with a running job.
+type RobustnessJob struct {
+	spec   RobustnessSpec
+	mcSpec montecarlo.Spec
+	net    montecarlo.Network
+	scheme protect.Scheme
+	ad     arch.Design
+	state  *montecarlo.State
+}
+
+// NewRobustnessJob validates the spec and allocates the job's slot
+// store. Spec failures surface ErrUnknownNetwork, ErrUnknownDesign or
+// ErrBadSpec, exactly like Robustness.
+func NewRobustnessJob(spec RobustnessSpec) (*RobustnessJob, error) {
+	ad, err := spec.Design.arch()
+	if err != nil {
+		return nil, err
+	}
+	net, err := montecarlo.BuildNetwork(spec.Network)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownNetwork, spec.Network, montecarlo.Networks())
+	}
+	scheme, err := spec.Protection.scheme()
+	if err != nil {
+		return nil, err
+	}
+	mcSpec := montecarlo.Spec{
+		Model:       net.Model,
+		Input:       net.Input,
+		Design:      ad,
+		Bits:        net.Bits,
+		Terms:       net.Terms,
+		Variation:   montecarlo.DefaultVariationModel(),
+		Sigmas:      spec.Sigmas,
+		Trials:      spec.Trials,
+		Seed:        spec.Seed,
+		Workers:     spec.Workers,
+		ErrorBudget: spec.ErrorBudget,
+		Protection:  scheme,
+	}
+	if err := mcSpec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return &RobustnessJob{
+		spec:   spec,
+		mcSpec: mcSpec,
+		net:    net,
+		scheme: scheme,
+		ad:     ad,
+		state:  montecarlo.NewState(mcSpec, spec.Network),
+	}, nil
+}
+
+// Progress returns completed and total trial counts.
+func (j *RobustnessJob) Progress() (done, total int) { return j.state.Progress() }
+
+// Snapshot serializes the completed trials. Safe to call while Run is
+// in flight; the snapshot holds a consistent prefix of the work.
+func (j *RobustnessJob) Snapshot() ([]byte, error) { return j.state.Snapshot() }
+
+// Restore reinstalls a snapshot taken from a job with the identical
+// spec (Workers aside — resuming at a different pool width is legal).
+// Foreign snapshots are refused with ErrSnapshotMismatch.
+func (j *RobustnessJob) Restore(payload []byte) error { return j.state.Restore(payload) }
+
+// Run executes (or finishes) the sweep. On cancellation the completed
+// slots stay in the job, ready to Snapshot.
+func (j *RobustnessJob) Run(ctx context.Context, hooks RobustnessHooks) (RobustnessReport, error) {
+	rep, err := montecarlo.RunState(ctx, j.mcSpec, j.state, montecarlo.Hooks{
+		OnTrial: hooks.OnTrial,
+		OnPoint: hooks.OnPoint,
+	})
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	out := RobustnessReport{
+		Network:  j.spec.Network,
+		Design:   rep.Design,
+		Trials:   rep.Trials,
+		Seed:     rep.Seed,
+		Budget:   rep.ErrorBudget,
+		Points:   rep.Points,
+		Baseline: rep.Baseline,
+	}
+	if j.scheme != nil {
+		pr, err := protectionReport(j.net, j.ad, j.scheme, rep)
+		if err != nil {
+			return RobustnessReport{}, err
+		}
+		out.Protection = pr
+	}
+	return out, nil
+}
+
+// SweepJob is a resumable multi-network design-space sweep: the
+// flattened (network × point) grid plus the slot store of priced
+// cells. Results merge restored and freshly priced cells and are
+// byte-identical to an uninterrupted run. See docs/JOBS.md.
+//
+// A job is single-flight: call Run once. Snapshot and Progress are
+// safe concurrently with a running job.
+type SweepJob struct {
+	engine   *Engine
+	networks []string
+	points   []Point
+	jobs     []sweepeng.Job
+	state    *sweepeng.State
+}
+
+// NewSweepJob validates the grid against the default engine and
+// allocates the job's slot store.
+func NewSweepJob(networks []string, points []Point) (*SweepJob, error) {
+	return defaultEngine.NewSweepJob(networks, points)
+}
+
+// NewSweepJob validates the grid and allocates the slot store; the
+// job's evaluations run (and memoize) through this engine.
+func (e *Engine) NewSweepJob(networks []string, points []Point) (*SweepJob, error) {
+	if len(networks) == 0 || len(points) == 0 {
+		return nil, fmt.Errorf("pixel: sweep axes must be non-empty")
+	}
+	jobs := make([]sweepeng.Job, 0, len(networks)*len(points))
+	for _, name := range networks {
+		if _, err := e.resolveNetwork(name); err != nil {
+			return nil, err
+		}
+		for _, p := range points {
+			job, err := p.engineJob(name)
+			if err != nil {
+				return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
+			}
+			if _, err := e.config(p); err != nil {
+				return nil, fmt.Errorf("pixel: sweep point %s: %w", p, err)
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	return &SweepJob{
+		engine:   e,
+		networks: append([]string(nil), networks...),
+		points:   append([]Point(nil), points...),
+		jobs:     jobs,
+		state:    sweepeng.NewState(jobs),
+	}, nil
+}
+
+// Progress returns priced and total grid-cell counts.
+func (j *SweepJob) Progress() (done, total int) { return j.state.Progress() }
+
+// Snapshot serializes the priced cells. Safe to call while Run is in
+// flight.
+func (j *SweepJob) Snapshot() ([]byte, error) { return j.state.Snapshot() }
+
+// Restore reinstalls a snapshot taken from a job over the identical
+// (network × point) grid; anything else is refused with
+// sweep.ErrSnapshotMismatch.
+func (j *SweepJob) Restore(payload []byte) error { return j.state.Restore(payload) }
+
+// Run executes (or finishes) the sweep. opts may be nil. On
+// cancellation the priced cells stay in the job, ready to Snapshot.
+func (j *SweepJob) Run(ctx context.Context, opts *SweepOptions) (map[string][]Result, error) {
+	costs, err := j.engine.eng.RunState(ctx, j.jobs, j.state, opts.runOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Result, len(j.networks))
+	for ni, name := range j.networks {
+		results := make([]Result, len(j.points))
+		for pi, p := range j.points {
+			results[pi] = resultFromCost(name, p, costs[ni*len(j.points)+pi])
+		}
+		out[name] = results
+	}
+	return out, nil
+}

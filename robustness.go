@@ -221,58 +221,15 @@ func Robustness(spec RobustnessSpec) (RobustnessReport, error) {
 
 // RobustnessContext runs the sweep with cancellation. Spec failures
 // surface ErrUnknownNetwork, ErrUnknownDesign or ErrBadSpec; the
-// report is bit-identical for any Workers value.
+// report is bit-identical for any Workers value. For a resumable run
+// with progress hooks, build a RobustnessJob instead — this is the
+// one-shot form of the same machinery.
 func RobustnessContext(ctx context.Context, spec RobustnessSpec) (RobustnessReport, error) {
-	ad, err := spec.Design.arch()
+	job, err := NewRobustnessJob(spec)
 	if err != nil {
 		return RobustnessReport{}, err
 	}
-	net, err := montecarlo.BuildNetwork(spec.Network)
-	if err != nil {
-		return RobustnessReport{}, fmt.Errorf("%w: %q (have %v)", ErrUnknownNetwork, spec.Network, montecarlo.Networks())
-	}
-	scheme, err := spec.Protection.scheme()
-	if err != nil {
-		return RobustnessReport{}, err
-	}
-	mcSpec := montecarlo.Spec{
-		Model:       net.Model,
-		Input:       net.Input,
-		Design:      ad,
-		Bits:        net.Bits,
-		Terms:       net.Terms,
-		Variation:   montecarlo.DefaultVariationModel(),
-		Sigmas:      spec.Sigmas,
-		Trials:      spec.Trials,
-		Seed:        spec.Seed,
-		Workers:     spec.Workers,
-		ErrorBudget: spec.ErrorBudget,
-		Protection:  scheme,
-	}
-	if err := mcSpec.Validate(); err != nil {
-		return RobustnessReport{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
-	}
-	rep, err := montecarlo.Run(ctx, mcSpec)
-	if err != nil {
-		return RobustnessReport{}, err
-	}
-	out := RobustnessReport{
-		Network:  spec.Network,
-		Design:   rep.Design,
-		Trials:   rep.Trials,
-		Seed:     rep.Seed,
-		Budget:   rep.ErrorBudget,
-		Points:   rep.Points,
-		Baseline: rep.Baseline,
-	}
-	if scheme != nil {
-		pr, err := protectionReport(net, ad, scheme, rep)
-		if err != nil {
-			return RobustnessReport{}, err
-		}
-		out.Protection = pr
-	}
-	return out, nil
+	return job.Run(ctx, RobustnessHooks{})
 }
 
 // protectionCostLanes is the canonical ensemble size protection
