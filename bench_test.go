@@ -253,11 +253,11 @@ func BenchmarkServerEvaluate(b *testing.B) {
 
 // benchInferImages builds deterministic in-range images for a demo
 // network.
-func benchInferImages(b *testing.B, network string, n int) [][]int64 {
-	b.Helper()
+func benchInferImages(tb testing.TB, network string, n int) [][]int64 {
+	tb.Helper()
 	shape, err := pixel.InferNetworkShape(network)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	imgs := make([][]int64, n)
 	for k := range imgs {

@@ -15,12 +15,17 @@
 // checkpoint to disk and a restarted pixeld re-adopts and resumes
 // unfinished ones bit-exactly (see docs/JOBS.md).
 //
+// With -pprof-addr pixeld additionally serves the net/http/pprof
+// profiling endpoints (/debug/pprof/...) on a separate listener, off
+// by default and intended for loopback only.
+//
 // Usage:
 //
 //	pixeld -addr :8764
 //	pixeld -addr 127.0.0.1:0 -max-inflight 32 -queue-timeout 100ms -cache-size 8192
 //	pixeld -addr :8764 -batch-size 64 -batch-window 2ms
 //	pixeld -addr :8764 -jobs-dir /var/lib/pixeld/jobs -job-ttl 1h
+//	pixeld -addr :8764 -pprof-addr 127.0.0.1:6060
 //
 // pixeld prints "pixeld: listening on <host:port>" once the listener
 // is bound (so :0 callers can discover the port) and drains in-flight
@@ -33,6 +38,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +68,7 @@ func run(args []string, stdout *os.File) error {
 	maxTrials := fs.Int("max-trials", server.DefaultMaxTrials, "max Monte-Carlo trials per /v1/robustness request")
 	batchSize := fs.Int("batch-size", server.DefaultBatchSize, "image count that flushes a pending /v1/infer batch early")
 	batchWindow := fs.Duration("batch-window", server.DefaultBatchWindow, "max wait for a /v1/infer batch to fill before it executes")
+	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints on a separate listener (empty = disabled); bind loopback, the endpoints are unauthenticated")
 	jobsDir := fs.String("jobs-dir", "", "directory for durable-job checkpoints; restarts re-adopt unfinished jobs (empty = in-memory jobs only)")
 	jobTTL := fs.Duration("job-ttl", jobs.DefaultTTL, "how long finished jobs stay queryable before eviction")
 	maxJobs := fs.Int("max-jobs", jobs.DefaultMaxJobs, "max jobs tracked before POST /v1/jobs answers 429")
@@ -104,6 +112,25 @@ func run(args []string, stdout *os.File) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The profiling listener is separate from the API listener so
+	// operational exposure is an explicit choice: the API port can face
+	// a load balancer while pprof stays on loopback. DefaultServeMux
+	// carries the net/http/pprof handlers via its init registration.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		fmt.Fprintf(stdout, "pixeld: pprof on %s\n", pln.Addr())
+		logger.Info("pprof", "addr", pln.Addr().String())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil && ctx.Err() == nil {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

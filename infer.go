@@ -60,6 +60,14 @@ type inferNet struct {
 var (
 	inferMu   sync.Mutex
 	inferNets = map[string]*inferNet{}
+
+	// inferArenas recycles whole tensor arenas across Infer calls: each
+	// call borrows one arena (arenas are single-threaded by contract),
+	// draws its input and inter-layer activation tensors from it, and
+	// returns everything before putting the arena back — so
+	// steady-state batched inference reuses the previous batch's
+	// activation storage instead of allocating.
+	inferArenas = sync.Pool{New: func() any { return tensor.NewArena() }}
 )
 
 // inferNetwork resolves (and memoizes) a named inference network; the
@@ -123,31 +131,48 @@ func InferContext(ctx context.Context, spec InferSpec) ([]InferResult, error) {
 		return nil, fmt.Errorf("%w: empty image batch", ErrBadSpec)
 	}
 	want := n.shape.H * n.shape.W * n.shape.C
+	arena := inferArenas.Get().(*tensor.Arena)
+	defer inferArenas.Put(arena)
 	ins := make([]*tensor.Tensor, len(spec.Images))
 	for b, img := range spec.Images {
 		if len(img) != want {
+			arena.Put(ins...)
 			return nil, fmt.Errorf("%w: image %d has %d values, want %d (%dx%dx%d)",
 				ErrBadSpec, b, len(img), want, n.shape.H, n.shape.W, n.shape.C)
 		}
 		for i, v := range img {
 			if v < 0 || v > n.shape.MaxValue {
+				arena.Put(ins...)
 				return nil, fmt.Errorf("%w: image %d value %d at %d outside [0,%d]",
 					ErrBadSpec, b, v, i, n.shape.MaxValue)
 			}
 		}
-		t := tensor.New(n.shape.H, n.shape.W, n.shape.C)
+		t := arena.Get(n.shape.H, n.shape.W, n.shape.C)
 		copy(t.Data, img)
 		ins[b] = t
 	}
-	outs, err := n.model.RunBatch(ctx, ins, n.eng, qnn.RunOptions{Workers: spec.Workers})
+	outs, err := n.model.RunBatch(ctx, ins, n.eng, qnn.RunOptions{Workers: spec.Workers, Arena: arena})
 	if err != nil {
+		arena.Put(ins...)
 		return nil, err
 	}
+	// Copy the class scores out of the arena tensors (one flat backing
+	// array — every image has the same output length), then hand both
+	// the inputs and the outputs back for the next batch. RunBatch can
+	// return an input tensor as an output (a zero-layer model), so
+	// guard against recycling the same tensor twice.
 	results := make([]InferResult, len(outs))
+	flat := make([]int64, len(outs)*outs[0].Len())
 	for b, out := range outs {
-		vals := make([]int64, len(out.Data))
+		vals := flat[b*out.Len() : (b+1)*out.Len() : (b+1)*out.Len()]
 		copy(vals, out.Data)
 		results[b] = InferResult{Outputs: vals, ArgMax: tensor.ArgMax(out)}
+	}
+	arena.Put(ins...)
+	for b, out := range outs {
+		if out != ins[b] {
+			arena.Put(out)
+		}
 	}
 	return results, nil
 }

@@ -152,13 +152,7 @@ func (b *BatchedStripes) FilterBatch(windows [][]uint64, filters [][]uint64, out
 		if end > len(windows) {
 			end = len(windows)
 		}
-		var err error
-		if packed {
-			err = b.groupPacked(windows[start:end], filters, outs, start, sc)
-		} else {
-			err = b.group(windows[start:end], filters, outs, start, sc)
-		}
-		if err != nil {
+		if err := b.group(windows[start:end], filters, outs, start, sc, packed); err != nil {
 			return Stats{}, err
 		}
 	}
@@ -199,139 +193,12 @@ func (b *BatchedStripes) getScratch(n int) *batchScratch {
 }
 
 // group runs one <=64-window group: transpose into the lane-major
-// column store, then sweep every filter over it in pairs.
-func (b *BatchedStripes) group(group [][]uint64, filters [][]uint64, outs [][]uint64, offset int, sc *batchScratch) error {
-	n := len(group[0])
-	lanes := len(group)
-	cols := sc.cols[:n*lanes]
-	// Transpose: cols[i*lanes+w] is window w's value at element i, so
-	// one element's batch values are contiguous. Operand validation
-	// happens here, once per window element — not per filter.
-	for w, win := range group {
-		for i, v := range win {
-			if err := b.fe.checkOperand("neuron", v); err != nil {
-				return fmt.Errorf("bitserial: window %d: %w", offset+w, err)
-			}
-			cols[i*lanes+w] = v
-		}
-	}
-
-	accMask := b.fe.accMask
-	acc := sc.acc[:lanes]
-	acc2 := sc.acc2[:lanes]
-	acc3 := sc.acc3[:lanes]
-	acc4 := sc.acc4[:lanes]
-	// Filters go four at a time so each column load feeds four
-	// independent multiply-accumulate chains. Lanes accumulate mod
-	// 2^64 and reduce by accMask once at the end; reduction mod
-	// 2^accWidth is a ring homomorphism, so this equals the sequential
-	// engine's per-element wrap exactly.
-	f := 0
-	for ; f+3 < len(filters); f += 4 {
-		fl, fl2, fl3, fl4 := filters[f], filters[f+1], filters[f+2], filters[f+3]
-		for w := range acc {
-			acc[w] = 0
-			acc2[w] = 0
-			acc3[w] = 0
-			acc4[w] = 0
-		}
-		// Elements go two at a time as well, so each accumulator
-		// load/store is shared by eight multiplies — the sweep is
-		// memory-bound, and this halves accumulator traffic per MAC.
-		i := 0
-		for ; i+1 < n; i += 2 {
-			wtA1, wtA2, wtA3, wtA4 := fl[i], fl2[i], fl3[i], fl4[i]
-			wtB1, wtB2, wtB3, wtB4 := fl[i+1], fl2[i+1], fl3[i+1], fl4[i+1]
-			if wtA1|wtA2|wtA3|wtA4|wtB1|wtB2|wtB3|wtB4 == 0 {
-				continue // zero synapses contribute nothing in any chain
-			}
-			colA := cols[i*lanes : i*lanes+lanes : i*lanes+lanes]
-			colB := cols[(i+1)*lanes : (i+1)*lanes+lanes : (i+1)*lanes+lanes]
-			_ = colA[len(acc)-1]
-			_ = colB[len(acc)-1]
-			for w := range acc {
-				ca, cb := colA[w], colB[w]
-				acc[w] += ca*wtA1 + cb*wtB1
-				acc2[w] += ca*wtA2 + cb*wtB2
-				acc3[w] += ca*wtA3 + cb*wtB3
-				acc4[w] += ca*wtA4 + cb*wtB4
-			}
-		}
-		for ; i < n; i++ {
-			wt, wt2, wt3, wt4 := fl[i], fl2[i], fl3[i], fl4[i]
-			if wt|wt2|wt3|wt4 == 0 {
-				continue
-			}
-			col := cols[i*lanes : i*lanes+lanes : i*lanes+lanes]
-			_ = col[len(acc)-1]
-			for w := range acc {
-				cv := col[w]
-				acc[w] += cv * wt
-				acc2[w] += cv * wt2
-				acc3[w] += cv * wt3
-				acc4[w] += cv * wt4
-			}
-		}
-		o, o2, o3, o4 := outs[f], outs[f+1], outs[f+2], outs[f+3]
-		for w := range acc {
-			o[offset+w] = acc[w] & accMask
-			o2[offset+w] = acc2[w] & accMask
-			o3[offset+w] = acc3[w] & accMask
-			o4[offset+w] = acc4[w] & accMask
-		}
-	}
-	for ; f+1 < len(filters); f += 2 {
-		fl, fl2 := filters[f], filters[f+1]
-		for w := range acc {
-			acc[w] = 0
-			acc2[w] = 0
-		}
-		for i := 0; i < n; i++ {
-			wt, wt2 := fl[i], fl2[i]
-			if wt == 0 && wt2 == 0 {
-				continue // zero synapses contribute nothing in either chain
-			}
-			col := cols[i*lanes : i*lanes+lanes : i*lanes+lanes]
-			_ = col[len(acc)-1]
-			for w := range acc {
-				cv := col[w]
-				acc[w] += cv * wt
-				acc2[w] += cv * wt2
-			}
-		}
-		o, o2 := outs[f], outs[f+1]
-		for w := range acc {
-			o[offset+w] = acc[w] & accMask
-			o2[offset+w] = acc2[w] & accMask
-		}
-	}
-	for ; f < len(filters); f++ {
-		fl := filters[f]
-		for w := range acc {
-			acc[w] = 0
-		}
-		for i := 0; i < n; i++ {
-			wt := fl[i]
-			if wt == 0 {
-				continue
-			}
-			col := cols[i*lanes : i*lanes+lanes : i*lanes+lanes]
-			_ = col[len(acc)-1]
-			for w := range acc {
-				acc[w] += col[w] * wt
-			}
-		}
-		o := outs[f]
-		for w := range acc {
-			o[offset+w] = acc[w] & accMask
-		}
-	}
-	return nil
-}
-
-// groupPacked is group with two lanes bit-sliced into each machine
-// word: window 2j rides the low 32 bits of word j and window 2j+1 the
-// high 32, so every multiply-accumulate performs two lane MACs — the
+// column store, then sweep every filter over it in quads, pairs and
+// singles.
+//
+// With packed set, two lanes are bit-sliced into each machine word:
+// window 2j rides the low 32 bits of word j and window 2j+1 the high
+// 32, so every multiply-accumulate performs two lane MACs — the
 // software dual of packing two λ channels onto one waveguide. The
 // caller guarantees (a) accWidth <= 32, so each half reduces by
 // accMask independently, and (b) n * maxProduct < 2^32, so the true
@@ -339,17 +206,26 @@ func (b *BatchedStripes) group(group [][]uint64, filters [][]uint64, outs [][]ui
 // v*wt distributes over the packed halves exactly and each half
 // accumulates mod 2^32, which the final per-half accMask reduction
 // collapses to the sequential engine's value (same ring-homomorphism
-// argument as group, per half).
-func (b *BatchedStripes) groupPacked(group [][]uint64, filters [][]uint64, outs [][]uint64, offset int, sc *batchScratch) error {
+// argument as the unpacked sweep, per half).
+func (b *BatchedStripes) group(group [][]uint64, filters [][]uint64, outs [][]uint64, offset int, sc *batchScratch, packed bool) error {
 	n := len(group[0])
 	lanes := len(group)
-	words := (lanes + 1) / 2
+	words := lanes
+	if packed {
+		words = (lanes + 1) / 2
+	}
 	cols := sc.cols[:n*words]
-	// Transpose and pack: even windows assign the whole word (clearing
-	// the high half — an odd trailing lane leaves it zero), odd windows
-	// OR into the high half of the word their predecessor wrote.
+	// Transpose: cols[i*words+w] holds the group's values at element i
+	// contiguously — one word per lane unpacked, two lanes per word
+	// packed (even windows assign the whole word, clearing the high
+	// half; odd windows OR into the high half of the word their
+	// predecessor wrote). Operand validation happens here, once per
+	// window element — not per filter.
 	for w, win := range group {
-		word, shift := w>>1, uint(w&1)*32
+		word, shift := w, uint(0)
+		if packed {
+			word, shift = w>>1, uint(w&1)*32
+		}
 		for i, v := range win {
 			if err := b.fe.checkOperand("neuron", v); err != nil {
 				return fmt.Errorf("bitserial: window %d: %w", offset+w, err)
@@ -367,95 +243,161 @@ func (b *BatchedStripes) groupPacked(group [][]uint64, filters [][]uint64, outs 
 	acc2 := sc.acc2[:words]
 	acc3 := sc.acc3[:words]
 	acc4 := sc.acc4[:words]
+	writeOut := func(o, a []uint64) {
+		if packed {
+			unpackPacked(o, a, offset, lanes, accMask)
+			return
+		}
+		for w, v := range a {
+			o[offset+w] = v & accMask
+		}
+	}
+	// Filters go four at a time so each column load feeds four
+	// independent multiply-accumulate chains. Lanes accumulate mod
+	// 2^64 and reduce by accMask once at the end; reduction mod
+	// 2^accWidth is a ring homomorphism, so this equals the sequential
+	// engine's per-element wrap exactly.
 	f := 0
 	for ; f+3 < len(filters); f += 4 {
-		fl, fl2, fl3, fl4 := filters[f], filters[f+1], filters[f+2], filters[f+3]
-		for w := range acc {
-			acc[w] = 0
-			acc2[w] = 0
-			acc3[w] = 0
-			acc4[w] = 0
-		}
-		i := 0
-		for ; i+1 < n; i += 2 {
-			wtA1, wtA2, wtA3, wtA4 := fl[i], fl2[i], fl3[i], fl4[i]
-			wtB1, wtB2, wtB3, wtB4 := fl[i+1], fl2[i+1], fl3[i+1], fl4[i+1]
-			if wtA1|wtA2|wtA3|wtA4|wtB1|wtB2|wtB3|wtB4 == 0 {
-				continue // zero synapses contribute nothing in any chain
-			}
-			colA := cols[i*words : i*words+words : i*words+words]
-			colB := cols[(i+1)*words : (i+1)*words+words : (i+1)*words+words]
-			_ = colA[len(acc)-1]
-			_ = colB[len(acc)-1]
-			for w := range acc {
-				ca, cb := colA[w], colB[w]
-				acc[w] += ca*wtA1 + cb*wtB1
-				acc2[w] += ca*wtA2 + cb*wtB2
-				acc3[w] += ca*wtA3 + cb*wtB3
-				acc4[w] += ca*wtA4 + cb*wtB4
-			}
-		}
-		for ; i < n; i++ {
-			wt, wt2, wt3, wt4 := fl[i], fl2[i], fl3[i], fl4[i]
-			if wt|wt2|wt3|wt4 == 0 {
-				continue
-			}
-			col := cols[i*words : i*words+words : i*words+words]
-			_ = col[len(acc)-1]
-			for w := range acc {
-				cv := col[w]
-				acc[w] += cv * wt
-				acc2[w] += cv * wt2
-				acc3[w] += cv * wt3
-				acc4[w] += cv * wt4
-			}
-		}
-		unpackPacked(outs[f], acc, offset, lanes, accMask)
-		unpackPacked(outs[f+1], acc2, offset, lanes, accMask)
-		unpackPacked(outs[f+2], acc3, offset, lanes, accMask)
-		unpackPacked(outs[f+3], acc4, offset, lanes, accMask)
+		sweepQuad(cols, words, n, filters[f], filters[f+1], filters[f+2], filters[f+3],
+			acc, acc2, acc3, acc4, packed)
+		writeOut(outs[f], acc)
+		writeOut(outs[f+1], acc2)
+		writeOut(outs[f+2], acc3)
+		writeOut(outs[f+3], acc4)
 	}
-	for ; f+1 < len(filters); f += 2 {
-		fl, fl2 := filters[f], filters[f+1]
-		for w := range acc {
-			acc[w] = 0
-			acc2[w] = 0
-		}
-		for i := 0; i < n; i++ {
-			wt, wt2 := fl[i], fl2[i]
-			if wt == 0 && wt2 == 0 {
-				continue
-			}
-			col := cols[i*words : i*words+words : i*words+words]
-			_ = col[len(acc)-1]
-			for w := range acc {
-				cv := col[w]
-				acc[w] += cv * wt
-				acc2[w] += cv * wt2
-			}
-		}
-		unpackPacked(outs[f], acc, offset, lanes, accMask)
-		unpackPacked(outs[f+1], acc2, offset, lanes, accMask)
+	if f+1 < len(filters) {
+		sweepPair(cols, words, n, filters[f], filters[f+1], acc, acc2)
+		writeOut(outs[f], acc)
+		writeOut(outs[f+1], acc2)
+		f += 2
 	}
-	for ; f < len(filters); f++ {
-		fl := filters[f]
-		for w := range acc {
-			acc[w] = 0
-		}
-		for i := 0; i < n; i++ {
-			wt := fl[i]
-			if wt == 0 {
-				continue
-			}
-			col := cols[i*words : i*words+words : i*words+words]
-			_ = col[len(acc)-1]
-			for w := range acc {
-				acc[w] += col[w] * wt
-			}
-		}
-		unpackPacked(outs[f], acc, offset, lanes, accMask)
+	if f < len(filters) {
+		sweepOne(cols, words, n, filters[f], acc)
+		writeOut(outs[f], acc)
 	}
 	return nil
+}
+
+// sweepQuad computes acc_k[w] = Σ_i cols[i*words+w] * fl_k[i] mod 2^64
+// for four filters at once, dispatching lanes in blocks of four to the
+// AVX2 kernel when the host has one and finishing (or fully running)
+// on the portable scalar sweep. Sums mod 2^64 are order-independent,
+// so the vector kernel's different accumulation order is bit-identical
+// to the scalar one.
+func sweepQuad(cols []uint64, words, n int, fl1, fl2, fl3, fl4, acc, acc2, acc3, acc4 []uint64, packed bool) {
+	lo := 0
+	if useVec && words >= 4 && n > 0 {
+		lo = words &^ 3
+		if packed {
+			sweepQuadPackedVec(&cols[0], words, n, &fl1[0], &fl2[0], &fl3[0], &fl4[0],
+				&acc[0], &acc2[0], &acc3[0], &acc4[0])
+		} else {
+			sweepQuadVec(&cols[0], words, n, &fl1[0], &fl2[0], &fl3[0], &fl4[0],
+				&acc[0], &acc2[0], &acc3[0], &acc4[0])
+		}
+	}
+	sweepQuadGeneric(cols, words, n, lo, words, fl1, fl2, fl3, fl4, acc, acc2, acc3, acc4)
+}
+
+// sweepQuadGeneric is the portable four-filter sweep over lanes
+// [lo, words) of the column store: the scalar fallback and the tail
+// pass behind the four-lane-blocked vector kernel.
+func sweepQuadGeneric(cols []uint64, words, n, lo, hi int, fl1, fl2, fl3, fl4, acc, acc2, acc3, acc4 []uint64) {
+	a1, a2, a3, a4 := acc[lo:hi], acc2[lo:hi], acc3[lo:hi], acc4[lo:hi]
+	for w := range a1 {
+		a1[w] = 0
+		a2[w] = 0
+		a3[w] = 0
+		a4[w] = 0
+	}
+	if len(a1) == 0 {
+		return
+	}
+	// Elements go two at a time, so each accumulator load/store is
+	// shared by eight multiplies — the sweep is memory-bound, and this
+	// halves accumulator traffic per MAC.
+	i := 0
+	for ; i+1 < n; i += 2 {
+		wtA1, wtA2, wtA3, wtA4 := fl1[i], fl2[i], fl3[i], fl4[i]
+		wtB1, wtB2, wtB3, wtB4 := fl1[i+1], fl2[i+1], fl3[i+1], fl4[i+1]
+		if wtA1|wtA2|wtA3|wtA4|wtB1|wtB2|wtB3|wtB4 == 0 {
+			continue // zero synapses contribute nothing in any chain
+		}
+		colA := cols[i*words+lo : i*words+hi : i*words+hi]
+		colB := cols[(i+1)*words+lo : (i+1)*words+hi : (i+1)*words+hi]
+		_ = colA[len(a1)-1]
+		_ = colB[len(a1)-1]
+		for w := range a1 {
+			ca, cb := colA[w], colB[w]
+			a1[w] += ca*wtA1 + cb*wtB1
+			a2[w] += ca*wtA2 + cb*wtB2
+			a3[w] += ca*wtA3 + cb*wtB3
+			a4[w] += ca*wtA4 + cb*wtB4
+		}
+	}
+	for ; i < n; i++ {
+		wt, wt2, wt3, wt4 := fl1[i], fl2[i], fl3[i], fl4[i]
+		if wt|wt2|wt3|wt4 == 0 {
+			continue
+		}
+		col := cols[i*words+lo : i*words+hi : i*words+hi]
+		_ = col[len(a1)-1]
+		for w := range a1 {
+			cv := col[w]
+			a1[w] += cv * wt
+			a2[w] += cv * wt2
+			a3[w] += cv * wt3
+			a4[w] += cv * wt4
+		}
+	}
+}
+
+// sweepPair is the two-filter scalar sweep for a trailing filter pair.
+func sweepPair(cols []uint64, words, n int, fl1, fl2, acc, acc2 []uint64) {
+	a1, a2 := acc[:words], acc2[:words]
+	for w := range a1 {
+		a1[w] = 0
+		a2[w] = 0
+	}
+	if len(a1) == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		wt, wt2 := fl1[i], fl2[i]
+		if wt == 0 && wt2 == 0 {
+			continue // zero synapses contribute nothing in either chain
+		}
+		col := cols[i*words : i*words+words : i*words+words]
+		_ = col[len(a1)-1]
+		for w := range a1 {
+			cv := col[w]
+			a1[w] += cv * wt
+			a2[w] += cv * wt2
+		}
+	}
+}
+
+// sweepOne is the single-filter scalar sweep for a trailing filter.
+func sweepOne(cols []uint64, words, n int, fl, acc []uint64) {
+	a := acc[:words]
+	for w := range a {
+		a[w] = 0
+	}
+	if len(a) == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		wt := fl[i]
+		if wt == 0 {
+			continue
+		}
+		col := cols[i*words : i*words+words : i*words+words]
+		_ = col[len(a)-1]
+		for w := range a {
+			a[w] += col[w] * wt
+		}
+	}
 }
 
 // unpackPacked splits each packed accumulator word back into its two

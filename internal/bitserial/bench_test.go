@@ -99,6 +99,23 @@ func BenchmarkFilterBatch64x16(b *testing.B) {
 	b.ReportMetric(float64(len(windows)*len(fs)*len(windows[0]))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmac/s")
 }
 
+// BenchmarkFilterBatch64x16Scalar is BenchmarkFilterBatch64x16 with
+// the vector kernels forced off — the portable (purego / non-AVX2)
+// sweep. The ratio of the two Mmac/s figures is the SIMD speedup.
+func BenchmarkFilterBatch64x16Scalar(b *testing.B) {
+	prev := setVecForTest(false)
+	defer setVecForTest(prev)
+	be, windows, fs, outs := benchBatch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := be.FilterBatch(windows, fs, outs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(windows)*len(fs)*len(windows[0]))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmac/s")
+}
+
 // BenchmarkSequential64x16 is the same workload through per-pair
 // FastEngine calls — the baseline FilterBatch must beat.
 func BenchmarkSequential64x16(b *testing.B) {

@@ -1,0 +1,191 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 kernels for the batched filter sweep. Both functions compute,
+// for lane blocks of four 64-bit words w in [0, words&^3) and four
+// filters k:
+//
+//	acc_k[w] = sum_i cols[i*words + w] * fl_k[i]   (mod 2^64)
+//
+// with the four accumulator vectors register-resident across the whole
+// element loop and stored once per block. Lanes in [words&^3, words)
+// are left untouched for the scalar tail in batch.go. VPADDQ wraps mod
+// 2^64 exactly like Go uint64 addition, and per-lane sums mod 2^64 are
+// order-independent, so the results are bit-identical to the scalar
+// sweep.
+//
+// Register plan (both kernels):
+//	SI = cols base    CX = words      DX = n
+//	R8..R11  = fl1..fl4 bases
+//	R12..R15 = acc1..acc4 bases
+//	BX = block base lane   AX = element index   DI = &cols[i*words+BX]
+//	Y0..Y3 = accumulators for fl1..fl4
+
+// func sweepQuadAVX2(cols *uint64, words, n int, fl1, fl2, fl3, fl4, acc1, acc2, acc3, acc4 *uint64)
+//
+// Unpacked lane store: column values fit 32 bits (operands are at most
+// 24 bits wide), so one VPMULUDQ (32x32->64) is the exact product.
+TEXT ·sweepQuadAVX2(SB), NOSPLIT, $0-88
+	MOVQ cols+0(FP), SI
+	MOVQ words+8(FP), CX
+	MOVQ n+16(FP), DX
+	MOVQ fl1+24(FP), R8
+	MOVQ fl2+32(FP), R9
+	MOVQ fl3+40(FP), R10
+	MOVQ fl4+48(FP), R11
+	MOVQ acc1+56(FP), R12
+	MOVQ acc2+64(FP), R13
+	MOVQ acc3+72(FP), R14
+	MOVQ acc4+80(FP), R15
+
+	XORQ BX, BX
+
+quadblock:
+	LEAQ 4(BX), DI
+	CMPQ DI, CX
+	JGT  quaddone
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	LEAQ (SI)(BX*8), DI
+	XORQ AX, AX
+
+quadelem:
+	CMPQ AX, DX
+	JGE  quadstore
+
+	VPBROADCASTQ (R8)(AX*8), Y4
+	VPBROADCASTQ (R9)(AX*8), Y5
+	VPBROADCASTQ (R10)(AX*8), Y6
+	VPBROADCASTQ (R11)(AX*8), Y7
+	VMOVDQU      (DI), Y8
+	VPMULUDQ     Y8, Y4, Y4
+	VPMULUDQ     Y8, Y5, Y5
+	VPMULUDQ     Y8, Y6, Y6
+	VPMULUDQ     Y8, Y7, Y7
+	VPADDQ       Y4, Y0, Y0
+	VPADDQ       Y5, Y1, Y1
+	VPADDQ       Y6, Y2, Y2
+	VPADDQ       Y7, Y3, Y3
+
+	LEAQ (DI)(CX*8), DI
+	INCQ AX
+	JMP  quadelem
+
+quadstore:
+	VMOVDQU Y0, (R12)(BX*8)
+	VMOVDQU Y1, (R13)(BX*8)
+	VMOVDQU Y2, (R14)(BX*8)
+	VMOVDQU Y3, (R15)(BX*8)
+	ADDQ    $4, BX
+	JMP     quadblock
+
+quaddone:
+	VZEROUPPER
+	RET
+
+// func sweepQuadPackedAVX2(cols *uint64, words, n int, fl1, fl2, fl3, fl4, acc1, acc2, acc3, acc4 *uint64)
+//
+// Packed lane store: each column word carries two independent 32-bit
+// lane halves, so the kernel forms cv*wt = lo(cv)*wt + (hi(cv)*wt)<<32
+// (exact mod 2^64 for wt < 2^32), matching the scalar sweep's full
+// 64-bit multiply of the packed word.
+TEXT ·sweepQuadPackedAVX2(SB), NOSPLIT, $0-88
+	MOVQ cols+0(FP), SI
+	MOVQ words+8(FP), CX
+	MOVQ n+16(FP), DX
+	MOVQ fl1+24(FP), R8
+	MOVQ fl2+32(FP), R9
+	MOVQ fl3+40(FP), R10
+	MOVQ fl4+48(FP), R11
+	MOVQ acc1+56(FP), R12
+	MOVQ acc2+64(FP), R13
+	MOVQ acc3+72(FP), R14
+	MOVQ acc4+80(FP), R15
+
+	XORQ BX, BX
+
+packblock:
+	LEAQ 4(BX), DI
+	CMPQ DI, CX
+	JGT  packdone
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	LEAQ (SI)(BX*8), DI
+	XORQ AX, AX
+
+packelem:
+	CMPQ AX, DX
+	JGE  packstore
+
+	VMOVDQU (DI), Y8
+	VPSRLQ  $32, Y8, Y9
+
+	VPBROADCASTQ (R8)(AX*8), Y4
+	VPMULUDQ     Y8, Y4, Y6
+	VPMULUDQ     Y9, Y4, Y7
+	VPSLLQ       $32, Y7, Y7
+	VPADDQ       Y6, Y0, Y0
+	VPADDQ       Y7, Y0, Y0
+
+	VPBROADCASTQ (R9)(AX*8), Y4
+	VPMULUDQ     Y8, Y4, Y6
+	VPMULUDQ     Y9, Y4, Y7
+	VPSLLQ       $32, Y7, Y7
+	VPADDQ       Y6, Y1, Y1
+	VPADDQ       Y7, Y1, Y1
+
+	VPBROADCASTQ (R10)(AX*8), Y4
+	VPMULUDQ     Y8, Y4, Y6
+	VPMULUDQ     Y9, Y4, Y7
+	VPSLLQ       $32, Y7, Y7
+	VPADDQ       Y6, Y2, Y2
+	VPADDQ       Y7, Y2, Y2
+
+	VPBROADCASTQ (R11)(AX*8), Y4
+	VPMULUDQ     Y8, Y4, Y6
+	VPMULUDQ     Y9, Y4, Y7
+	VPSLLQ       $32, Y7, Y7
+	VPADDQ       Y6, Y3, Y3
+	VPADDQ       Y7, Y3, Y3
+
+	LEAQ (DI)(CX*8), DI
+	INCQ AX
+	JMP  packelem
+
+packstore:
+	VMOVDQU Y0, (R12)(BX*8)
+	VMOVDQU Y1, (R13)(BX*8)
+	VMOVDQU Y2, (R14)(BX*8)
+	VMOVDQU Y3, (R15)(BX*8)
+	ADDQ    $4, BX
+	JMP     packblock
+
+packdone:
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,41 @@
+package bitserial
+
+// Vector-kernel dispatch for the batched filter sweep. On hosts with a
+// vector implementation (amd64 with AVX2, unless built with the purego
+// tag) the init in sweep_amd64.go plugs the assembly kernels in here;
+// everywhere else the pointers stay nil and the scalar sweeps in
+// batch.go run alone. The kernels compute lane blocks of four words at
+// a time over the same column store the scalar sweep walks; because
+// every lane accumulates independently mod 2^64, the two orders of
+// summation produce bit-identical accumulators (pinned by
+// TestSweepVectorMatchesScalar).
+var (
+	// useVec gates the vector kernels; false when the build excludes
+	// them or the CPU lacks AVX2.
+	useVec bool
+	// sweepQuadVec computes acc_k[w] = Σ_i cols[i*words+w] * fl_k[i]
+	// mod 2^64 for lanes [0, words&^3) and four filters; column values
+	// must fit 32 bits (the unpacked lane store, bits <= 24).
+	sweepQuadVec func(cols *uint64, words, n int, fl1, fl2, fl3, fl4, acc1, acc2, acc3, acc4 *uint64)
+	// sweepQuadPackedVec is sweepQuadVec for the two-lanes-per-word
+	// column store: column words are full 64-bit values whose 32-bit
+	// halves carry independent lanes, so the kernel multiplies each
+	// half separately and recombines (cv*wt == lo*wt + (hi*wt)<<32 mod
+	// 2^64 for wt < 2^32).
+	sweepQuadPackedVec func(cols *uint64, words, n int, fl1, fl2, fl3, fl4, acc1, acc2, acc3, acc4 *uint64)
+)
+
+// VectorSweep reports whether the batched filter sweep is running on
+// the host's vector kernels (AVX2) rather than the portable scalar
+// loops.
+func VectorSweep() bool { return useVec }
+
+// setVecForTest forces the vector kernels on or off, returning the
+// previous setting; a no-op "on" when the build has no kernels. Tests
+// and benchmarks use it to pin the scalar and vector sweeps against
+// each other on the same host.
+func setVecForTest(on bool) (prev bool) {
+	prev = useVec
+	useVec = on && sweepQuadVec != nil
+	return prev
+}

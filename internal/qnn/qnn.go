@@ -18,6 +18,7 @@ package qnn
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"pixel/internal/tensor"
 )
@@ -80,6 +81,16 @@ type RunOptions struct {
 	// deterministic, so any worker count produces bit-identical
 	// results.
 	Workers int
+	// Arena, when non-nil, supplies and recycles the inter-layer
+	// activation tensors of RunBatch, so steady-state batches reuse
+	// prior batches' storage instead of allocating. The batch's output
+	// tensors come from it too: callers that recycle them (Put after
+	// consuming) must do so only after the results are fully copied
+	// out. Nil means RunBatch uses a private arena (tensors are still
+	// recycled between layers within the batch). An Arena is not safe
+	// for concurrent use — concurrent RunBatch calls need separate
+	// arenas (pool whole arenas, as pixel.Infer does).
+	Arena *tensor.Arena
 }
 
 // ctxLayer is the optional layer interface the parallel pipeline uses:
@@ -130,6 +141,13 @@ type Conv struct {
 	// lowering (parity with tensor.Conv2D); padded positions
 	// contribute zero activations.
 	Pad int
+
+	// packOnce caches the engine-operand form of the kernel weights
+	// the first time the layer runs (packedFilters); the kernel must
+	// not be mutated afterwards.
+	packOnce sync.Once
+	packed   [][]uint64
+	packErr  error
 }
 
 // Name implements Layer.
@@ -184,18 +202,11 @@ func (c *Conv) applyCtx(ctx context.Context, in *tensor.Tensor, d Dotter, worker
 		}
 		windows[i] = dst
 	}
-	// Prefetch every filter's weights once for the whole layer.
-	packed := make([]uint64, k.M*p.Cols)
-	filters := make([][]uint64, k.M)
-	for m := range filters {
-		dst := packed[m*p.Cols : (m+1)*p.Cols : (m+1)*p.Cols]
-		for j, w := range k.Filter(m) {
-			if w < 0 {
-				return nil, fmt.Errorf("qnn: negative weight %d in %s", w, c.Label)
-			}
-			dst[j] = uint64(w)
-		}
-		filters[m] = dst
+	// The engine-operand filter weights, packed once per process and
+	// cached on the layer.
+	filters, err := c.packedFilters()
+	if err != nil {
+		return nil, err
 	}
 
 	out := tensor.New(p.EH, p.EW, k.M)
@@ -240,6 +251,13 @@ type FullyConnected struct {
 	Label   string
 	Weights []int64 // row-major [out][in]
 	Out     int
+
+	// packOnce caches the engine-operand form of the weight matrix the
+	// first time the layer runs (packedWeights); the weights must not
+	// be mutated afterwards.
+	packOnce sync.Once
+	packed   [][]uint64
+	packErr  error
 }
 
 // Name implements Layer.
@@ -268,16 +286,13 @@ func (f *FullyConnected) applyCtx(ctx context.Context, in *tensor.Tensor, d Dott
 		}
 		xs[i] = uint64(v)
 	}
-	ws := make([]uint64, n*f.Out)
-	for i, w := range f.Weights {
-		if w < 0 {
-			return nil, fmt.Errorf("qnn: negative weight %d in %s", w, f.Label)
-		}
-		ws[i] = uint64(w)
+	ws, err := f.packedWeights()
+	if err != nil {
+		return nil, err
 	}
 	out := tensor.New(1, 1, f.Out)
-	err := parallelFor(ctx, f.Out, workers, func(_, o int) error {
-		acc, err := d.DotProduct(xs, ws[o*n:(o+1)*n:(o+1)*n])
+	err = parallelFor(ctx, f.Out, workers, func(_, o int) error {
+		acc, err := d.DotProduct(xs, ws[o])
 		if err != nil {
 			return err
 		}

@@ -8,22 +8,126 @@ import (
 	"pixel/internal/tensor"
 )
 
-// batchLayer is the optional layer interface the batched pipeline uses:
-// MAC layers that can amortize per-layer work (weight packing, im2col
-// scratch) across a whole batch of inputs implement it; other layers
-// run their serial Apply per input.
+// batchRun is the shared state of one RunBatch pass: the current
+// per-image activations, which of them the pipeline owns (stage
+// outputs, safe to mutate in place and recycle) versus borrowed caller
+// inputs (never touched), and the arena stage outputs come from.
+// Stages acquire and recycle tensors only on the serial coordination
+// path — worker goroutines just fill tensors handed to them — so the
+// arena needs no locking.
+type batchRun struct {
+	xs    []*tensor.Tensor
+	owned []bool
+	arena *tensor.Arena
+}
+
+// replace installs y as image b's activation, recycling the tensor it
+// replaces when the pipeline owns it. Installing the same tensor
+// (in-place stages) keeps its ownership unchanged.
+func (r *batchRun) replace(b int, y *tensor.Tensor) {
+	if r.xs[b] == y {
+		return
+	}
+	if r.owned[b] {
+		r.arena.Put(r.xs[b])
+	}
+	r.xs[b] = y
+	r.owned[b] = true
+}
+
+// batchLayer is the optional layer interface the batched pipeline
+// uses: layers that can process the whole batch in one pass — MAC
+// layers amortizing weight packing and im2col scratch, element layers
+// rewriting owned tensors in place — implement it; other layers run
+// their serial Apply per input.
 type batchLayer interface {
-	applyBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, workers int) ([]*tensor.Tensor, error)
+	applyBatch(ctx context.Context, run *batchRun, d Dotter, workers int) error
+}
+
+// batchStage is one step of the batched execution plan: a layer plus
+// any Requant/MaxPool epilogue fused into it. Fusion never changes
+// results — the epilogue applies the exact per-layer arithmetic to
+// each raw MAC value as it is stored, so the intermediate tensors the
+// standalone chain would materialize are simply never built (requant
+// then pool, in chain order; max pooling commutes with the element
+// order either way).
+type batchStage struct {
+	layer Layer
+	rq    *Requant
+	pool  *MaxPool
+}
+
+// batchPlan folds the layer list into fused stages:
+// Conv→Requant→MaxPool (either epilogue optional) and
+// FullyConnected→Requant chains collapse into single stages; every
+// other layer is a stage of its own.
+func (m *Model) batchPlan() []batchStage {
+	plan := make([]batchStage, 0, len(m.Layers))
+	for i := 0; i < len(m.Layers); i++ {
+		st := batchStage{layer: m.Layers[i]}
+		switch m.Layers[i].(type) {
+		case *Conv:
+			if i+1 < len(m.Layers) {
+				if rq, ok := m.Layers[i+1].(*Requant); ok {
+					st.rq = rq
+					i++
+				}
+			}
+			if i+1 < len(m.Layers) {
+				if p, ok := m.Layers[i+1].(*MaxPool); ok {
+					st.pool = p
+					i++
+				}
+			}
+		case *FullyConnected:
+			if i+1 < len(m.Layers) {
+				if rq, ok := m.Layers[i+1].(*Requant); ok {
+					st.rq = rq
+					i++
+				}
+			}
+		}
+		plan = append(plan, st)
+	}
+	return plan
+}
+
+// run executes one stage, returning the label of the layer to blame
+// for any error (fused stages can fail in their epilogue layers).
+func (st *batchStage) run(ctx context.Context, run *batchRun, d Dotter, workers int) (string, error) {
+	switch l := st.layer.(type) {
+	case *Conv:
+		return l.applyBatchFused(ctx, run, d, workers, st.rq, st.pool)
+	case *FullyConnected:
+		return l.applyBatchFused(ctx, run, d, workers, st.rq)
+	}
+	if bl, ok := st.layer.(batchLayer); ok {
+		return st.layer.Name(), bl.applyBatch(ctx, run, d, workers)
+	}
+	// Per-image fallback for layers without a batched form.
+	for b := range run.xs {
+		y, err := st.layer.Apply(run.xs[b], d)
+		if err != nil {
+			return st.layer.Name(), fmt.Errorf("input %d: %w", b, err)
+		}
+		run.replace(b, y)
+	}
+	return st.layer.Name(), nil
 }
 
 // RunBatch executes the model on a batch of same-shape inputs,
 // bit-identical to len(ins) sequential RunContext calls at any worker
-// count. Conv layers pack filter weights once for the whole batch and
-// fan per-image im2col + MAC work across the pool; fully-connected
-// layers pack the weight matrix once and sweep it against all inputs
-// word-parallel. Per-image scratch (im2col patch matrices, operand
-// buffers) comes from a shared pool, so steady-state batches do not
-// allocate on the MAC hot path.
+// count. The layer list runs as a fused stage plan: Conv and
+// FullyConnected layers pack their weights once per process (cached on
+// the layer; see Conv.packedFilters) and absorb trailing Requant /
+// MaxPool layers into their store epilogue, so the chain's
+// intermediate activation tensors are never materialized. Inter-layer
+// activations come from a tensor.Arena (opts.Arena, or a private one)
+// and are recycled as soon as the next stage has consumed them;
+// per-image scratch (im2col patch matrices, operand buffers) comes
+// from a shared pool — so a steady-state batch allocates near-zero on
+// the MAC hot path. The caller's input tensors are never mutated or
+// recycled.
 func (m *Model) RunBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, opts RunOptions) ([]*tensor.Tensor, error) {
 	if m.ActivationBits < 1 || m.ActivationBits > 16 {
 		return nil, fmt.Errorf("qnn: activation bits %d out of range [1,16]", m.ActivationBits)
@@ -40,29 +144,26 @@ func (m *Model) RunBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, op
 				b, in.H, in.W, in.C, ins[0].H, ins[0].W, ins[0].C)
 		}
 	}
-	xs := make([]*tensor.Tensor, len(ins))
-	copy(xs, ins)
-	var err error
-	for _, l := range m.Layers {
+	arena := opts.Arena
+	if arena == nil {
+		arena = tensor.NewArena()
+	}
+	run := &batchRun{
+		xs:    make([]*tensor.Tensor, len(ins)),
+		owned: make([]bool, len(ins)),
+		arena: arena,
+	}
+	copy(run.xs, ins)
+	for _, st := range m.batchPlan() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if bl, ok := l.(batchLayer); ok {
-			xs, err = bl.applyBatch(ctx, xs, d, opts.Workers)
-		} else {
-			for b := range xs {
-				xs[b], err = l.Apply(xs[b], d)
-				if err != nil {
-					err = fmt.Errorf("input %d: %w", b, err)
-					break
-				}
-			}
-		}
+		name, err := st.run(ctx, run, d, opts.Workers)
 		if err != nil {
-			return nil, fmt.Errorf("qnn: %s: layer %s: %w", m.Label, l.Name(), err)
+			return nil, fmt.Errorf("qnn: %s: layer %s: %w", m.Label, name, err)
 		}
 	}
-	return xs, nil
+	return run.xs, nil
 }
 
 // runScratch is the pooled per-image (conv) / per-call (fc) working
@@ -96,9 +197,9 @@ func growRows(flat *[]uint64, hdrs *[][]uint64, rows, cols int) [][]uint64 {
 	return *hdrs
 }
 
-// packFilters converts a layer's weight matrix to engine operands once
-// per batch, validating non-negativity — the per-layer packing every
-// image in the batch reuses.
+// packFilters converts a layer's weight matrix to engine operands,
+// validating non-negativity — the packing every image of every batch
+// reuses (cached per layer by packedFilters / packedWeights).
 func packFilters(weights []int64, rows, cols int, label string) ([][]uint64, error) {
 	flat := make([]uint64, rows*cols)
 	hdrs := make([][]uint64, rows)
@@ -114,34 +215,132 @@ func packFilters(weights []int64, rows, cols int, label string) ([][]uint64, err
 	return hdrs, nil
 }
 
-// applyBatch implements batchLayer for Conv: filters are packed once
-// for the whole batch, then each input's im2col lowering and filter
-// sweep is one work item on the pool, running on pooled scratch and
-// writing its own output tensor — bit-identical to per-image applyCtx.
-func (c *Conv) applyBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, workers int) ([]*tensor.Tensor, error) {
+// packedFilters returns the engine-operand form of the kernel weights,
+// packing them on first use and caching the result on the layer (the
+// kernel must not be mutated after the layer first runs).
+func (c *Conv) packedFilters() ([][]uint64, error) {
+	c.packOnce.Do(func() {
+		k := c.Kernel
+		c.packed, c.packErr = packFilters(k.Data, k.M, k.R*k.R*k.C, c.Label)
+	})
+	return c.packed, c.packErr
+}
+
+// packedWeights is packedFilters for the dense weight matrix (the
+// weights must not be mutated after the layer first runs).
+func (f *FullyConnected) packedWeights() ([][]uint64, error) {
+	f.packOnce.Do(func() {
+		if f.Out < 1 || len(f.Weights)%f.Out != 0 {
+			f.packErr = fmt.Errorf("qnn: weight matrix %d not divisible into %d outputs", len(f.Weights), f.Out)
+			return
+		}
+		f.packed, f.packErr = packFilters(f.Weights, f.Out, len(f.Weights)/f.Out, f.Label)
+	})
+	return f.packed, f.packErr
+}
+
+// requantVal applies a fused Requant epilogue to one raw MAC value —
+// exactly Requant.Apply's per-element arithmetic, identity when rq is
+// nil.
+func requantVal(v int64, rq *Requant) int64 {
+	if rq == nil {
+		return v
+	}
+	v >>= rq.Shift
+	if v < 0 {
+		v = 0
+	}
+	if v > rq.Max {
+		v = rq.Max
+	}
+	return v
+}
+
+// fuseConvEpilogue scatters a conv's raw MAC rows (outRows[m][pos],
+// pos = oy*ew+ox) into the output tensor, applying the fused requant
+// and max-pool in the same pass — elementwise identical to running the
+// standalone layers on a materialized conv output, but without ever
+// building it.
+func fuseConvEpilogue(out *tensor.Tensor, outRows [][]uint64, ew int, rq *Requant, pool *MaxPool) {
+	m := len(outRows)
+	if pool == nil {
+		for f, row := range outRows {
+			for pos, v := range row {
+				out.Data[pos*m+f] = requantVal(int64(v), rq)
+			}
+		}
+		return
+	}
+	win := pool.Window
+	for f, row := range outRows {
+		for py := 0; py < out.H; py++ {
+			for px := 0; px < out.W; px++ {
+				best := requantVal(int64(row[py*win*ew+px*win]), rq)
+				for ky := 0; ky < win; ky++ {
+					base := (py*win+ky)*ew + px*win
+					for kx := 0; kx < win; kx++ {
+						if v := requantVal(int64(row[base+kx]), rq); v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[(py*out.W+px)*m+f] = best
+			}
+		}
+	}
+}
+
+// applyBatch implements batchLayer for Conv (the unfused form).
+func (c *Conv) applyBatch(ctx context.Context, run *batchRun, d Dotter, workers int) error {
+	_, err := c.applyBatchFused(ctx, run, d, workers, nil, nil)
+	return err
+}
+
+// applyBatchFused runs the conv over the whole batch with an optional
+// fused Requant/MaxPool epilogue: filters are packed once per process,
+// each input's im2col lowering and filter sweep is one work item on
+// the pool running on pooled scratch, and the epilogue requantizes and
+// pools directly out of the engine's MAC rows into an arena tensor —
+// bit-identical to the standalone layer chain. Returns the label of
+// the layer responsible for any error.
+func (c *Conv) applyBatchFused(ctx context.Context, run *batchRun, d Dotter, workers int, rq *Requant, pool *MaxPool) (string, error) {
 	k := c.Kernel
+	ins := run.xs
 	in0 := ins[0]
 	if in0.C != k.C {
-		return nil, fmt.Errorf("qnn: input channels %d != kernel channels %d", in0.C, k.C)
+		return c.Label, fmt.Errorf("qnn: input channels %d != kernel channels %d", in0.C, k.C)
 	}
 	if c.Stride < 1 {
-		return nil, fmt.Errorf("qnn: stride %d", c.Stride)
+		return c.Label, fmt.Errorf("qnn: stride %d", c.Stride)
 	}
 	if c.Pad < 0 {
-		return nil, fmt.Errorf("qnn: pad %d", c.Pad)
+		return c.Label, fmt.Errorf("qnn: pad %d", c.Pad)
 	}
 	eh := (in0.H+2*c.Pad-k.R)/c.Stride + 1
 	ew := (in0.W+2*c.Pad-k.R)/c.Stride + 1
 	if eh < 1 || ew < 1 {
-		return nil, fmt.Errorf("qnn: kernel %d too large for %dx%d input with pad %d", k.R, in0.H, in0.W, c.Pad)
+		return c.Label, fmt.Errorf("qnn: kernel %d too large for %dx%d input with pad %d", k.R, in0.H, in0.W, c.Pad)
 	}
-	cols := k.R * k.R * k.C
-	filters, err := packFilters(k.Data, k.M, cols, c.Label)
+	filters, err := c.packedFilters()
 	if err != nil {
-		return nil, err
+		return c.Label, err
+	}
+	if rq != nil && rq.Max < 1 {
+		return rq.Label, fmt.Errorf("qnn: requant max %d", rq.Max)
+	}
+	outH, outW := eh, ew
+	if pool != nil {
+		if pool.Window < 1 || eh%pool.Window != 0 || ew%pool.Window != 0 {
+			return pool.Label, fmt.Errorf("tensor: pool window %d does not tile %dx%d", pool.Window, eh, ew)
+		}
+		outH /= pool.Window
+		outW /= pool.Window
 	}
 
 	outs := make([]*tensor.Tensor, len(ins))
+	for b := range outs {
+		outs[b] = run.arena.Get(outH, outW, k.M)
+	}
 	err = parallelFor(ctx, len(ins), workers, func(_, b int) error {
 		in := ins[b]
 		for i, v := range in.Data {
@@ -164,37 +363,47 @@ func (c *Conv) applyBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, w
 		if err := dotMulti(d, windows, filters, outRows); err != nil {
 			return fmt.Errorf("input %d: %w", b, err)
 		}
-		out := tensor.New(p.EH, p.EW, k.M)
-		for m := 0; m < k.M; m++ {
-			row := outRows[m]
-			for pos, v := range row {
-				out.Data[pos*k.M+m] = int64(v)
-			}
-		}
-		outs[b] = out
+		fuseConvEpilogue(outs[b], outRows, p.EW, rq, pool)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		run.arena.Put(outs...)
+		return c.Label, err
 	}
-	return outs, nil
+	for b := range outs {
+		run.replace(b, outs[b])
+	}
+	return c.Label, nil
 }
 
-// applyBatch implements batchLayer for FullyConnected: the weight
-// matrix is packed once, all inputs become the window batch, and
-// output-neuron chunks fan across the pool, each sweeping its filters
-// against every input word-parallel.
-func (f *FullyConnected) applyBatch(ctx context.Context, ins []*tensor.Tensor, d Dotter, workers int) ([]*tensor.Tensor, error) {
+// applyBatch implements batchLayer for FullyConnected (the unfused
+// form).
+func (f *FullyConnected) applyBatch(ctx context.Context, run *batchRun, d Dotter, workers int) error {
+	_, err := f.applyBatchFused(ctx, run, d, workers, nil)
+	return err
+}
+
+// applyBatchFused runs the dense layer over the whole batch with an
+// optional fused Requant epilogue: the weight matrix is packed once
+// per process, all inputs become the window batch, and output-neuron
+// chunks fan across the pool, each sweeping its filters against every
+// input word-parallel; outputs are requantized directly out of the MAC
+// rows into arena tensors.
+func (f *FullyConnected) applyBatchFused(ctx context.Context, run *batchRun, d Dotter, workers int, rq *Requant) (string, error) {
+	ins := run.xs
 	n := ins[0].Len()
 	if f.Out < 1 {
-		return nil, fmt.Errorf("qnn: output size %d", f.Out)
+		return f.Label, fmt.Errorf("qnn: output size %d", f.Out)
 	}
 	if len(f.Weights) != n*f.Out {
-		return nil, fmt.Errorf("qnn: weight matrix %d != %d x %d", len(f.Weights), f.Out, n)
+		return f.Label, fmt.Errorf("qnn: weight matrix %d != %d x %d", len(f.Weights), f.Out, n)
 	}
-	filters, err := packFilters(f.Weights, f.Out, n, f.Label)
+	filters, err := f.packedWeights()
 	if err != nil {
-		return nil, err
+		return f.Label, err
+	}
+	if rq != nil && rq.Max < 1 {
+		return rq.Label, fmt.Errorf("qnn: requant max %d", rq.Max)
 	}
 
 	sc := runScratchPool.Get().(*runScratch)
@@ -204,7 +413,7 @@ func (f *FullyConnected) applyBatch(ctx context.Context, ins []*tensor.Tensor, d
 		dst := windows[b]
 		for i, v := range in.Data {
 			if v < 0 {
-				return nil, fmt.Errorf("qnn: input %d: negative activation %d", b, v)
+				return f.Label, fmt.Errorf("qnn: input %d: negative activation %d", b, v)
 			}
 			dst[i] = uint64(v)
 		}
@@ -222,15 +431,64 @@ func (f *FullyConnected) applyBatch(ctx context.Context, ins []*tensor.Tensor, d
 		return dotMulti(d, windows, filters[lo:hi], outRows[lo:hi])
 	})
 	if err != nil {
-		return nil, err
+		return f.Label, err
 	}
-	outs := make([]*tensor.Tensor, len(ins))
 	for b := range ins {
-		out := tensor.New(1, 1, f.Out)
+		out := run.arena.Get(1, 1, f.Out)
 		for o := 0; o < f.Out; o++ {
-			out.Data[o] = int64(outRows[o][b])
+			out.Data[o] = requantVal(int64(outRows[o][b]), rq)
 		}
-		outs[b] = out
+		run.replace(b, out)
 	}
-	return outs, nil
+	return f.Label, nil
+}
+
+// applyBatch implements batchLayer for standalone Requant stages:
+// owned activations are requantized in place, borrowed ones into fresh
+// arena tensors.
+func (r *Requant) applyBatch(_ context.Context, run *batchRun, _ Dotter, _ int) error {
+	if r.Max < 1 {
+		return fmt.Errorf("qnn: requant max %d", r.Max)
+	}
+	for b, in := range run.xs {
+		out := in
+		if !run.owned[b] {
+			out = run.arena.Get(in.H, in.W, in.C)
+		}
+		for i, v := range in.Data {
+			out.Data[i] = requantVal(v, r)
+		}
+		run.replace(b, out)
+	}
+	return nil
+}
+
+// applyBatch implements batchLayer for standalone MaxPool stages,
+// pooling into arena tensors and recycling owned inputs.
+func (p *MaxPool) applyBatch(_ context.Context, run *batchRun, _ Dotter, _ int) error {
+	for b, in := range run.xs {
+		if p.Window < 1 || in.H%p.Window != 0 || in.W%p.Window != 0 {
+			return fmt.Errorf("input %d: tensor: pool window %d does not tile %dx%d", b, p.Window, in.H, in.W)
+		}
+		out := run.arena.Get(in.H/p.Window, in.W/p.Window, in.C)
+		tensor.MaxPoolInto(out, in, p.Window)
+		run.replace(b, out)
+	}
+	return nil
+}
+
+// applyBatch implements batchLayer for Flatten: owned activations are
+// reshaped in place (HWC order already matches the flattened vector),
+// borrowed ones copied into arena tensors.
+func (f *Flatten) applyBatch(_ context.Context, run *batchRun, _ Dotter, _ int) error {
+	for b, in := range run.xs {
+		if run.owned[b] {
+			in.H, in.W, in.C = 1, 1, in.Len()
+			continue
+		}
+		out := run.arena.Get(1, 1, in.Len())
+		copy(out.Data, in.Data)
+		run.replace(b, out)
+	}
+	return nil
 }

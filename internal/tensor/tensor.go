@@ -160,6 +160,20 @@ func MaxPool2D(in *Tensor, window int) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: pool window %d does not tile %dx%d", window, in.H, in.W)
 	}
 	out := New(in.H/window, in.W/window, in.C)
+	MaxPoolInto(out, in, window)
+	return out, nil
+}
+
+// MaxPoolInto max-pools in into out, which must already have shape
+// (in.H/window, in.W/window, in.C) with the window tiling in exactly —
+// the allocation-free core of MaxPool2D, for callers that recycle
+// output tensors. Every out element is overwritten.
+func MaxPoolInto(out, in *Tensor, window int) {
+	if window < 1 || in.H%window != 0 || in.W%window != 0 ||
+		out.H != in.H/window || out.W != in.W/window || out.C != in.C {
+		panic(fmt.Sprintf("tensor: MaxPoolInto window %d: %dx%dx%d -> %dx%dx%d",
+			window, in.H, in.W, in.C, out.H, out.W, out.C))
+	}
 	for oy := 0; oy < out.H; oy++ {
 		for ox := 0; ox < out.W; ox++ {
 			for c := 0; c < in.C; c++ {
@@ -175,7 +189,6 @@ func MaxPool2D(in *Tensor, window int) (*Tensor, error) {
 			}
 		}
 	}
-	return out, nil
 }
 
 // FullyConnected computes out[o] = sum_i in[i] * w[o][i] for a weight

@@ -1,0 +1,7 @@
+//go:build race
+
+package pixel_test
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation-count guards skip.
+const raceEnabled = true
