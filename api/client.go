@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // HTTPError is a non-2xx pixeld response decoded from the uniform
@@ -27,37 +29,172 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("pixeld: %s (%d): %s", e.Code, e.Status, e.Message)
 }
 
+// Temporary reports whether the response is worth retrying: the server
+// shed the request (429) or is draining/unavailable (503). Everything
+// else — bad requests, unknown networks, internal errors — is not
+// fixed by waiting.
+func (e *HTTPError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// RetryPolicy configures WithRetry. Every pixeld /v1 route is a pure
+// function of its request, so retrying is always safe; the policy only
+// decides how patiently.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the first included;
+	// <= 0 means DefaultRetryAttempts.
+	MaxAttempts int
+	// BaseDelay is the first backoff sleep; it doubles per retry.
+	// <= 0 means DefaultRetryBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <= 0 means DefaultRetryMaxDelay. A
+	// server Retry-After hint above the cap is honored anyway — the
+	// server knows its own drain better than the client's policy does.
+	MaxDelay time.Duration
+}
+
+// Retry policy defaults.
+const (
+	DefaultRetryAttempts  = 4
+	DefaultRetryBaseDelay = 50 * time.Millisecond
+	DefaultRetryMaxDelay  = 2 * time.Second
+)
+
+// ClientOption customizes a Client at construction.
+type ClientOption func(*Client)
+
+// WithRetry makes every request method retry transport failures and
+// retryable statuses (429 with its Retry-After hint honored, and 503)
+// with exponential backoff, bounded by the policy's attempt budget and
+// the request context. Non-retryable statuses (400, 404, 500, ...)
+// fail immediately. JobEvents streams are not retried — reconnect with
+// LastSeq instead.
+func WithRetry(p RetryPolicy) ClientOption {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryMaxDelay
+	}
+	return func(c *Client) { c.retry = &p }
+}
+
 // Client is a thin pixeld client speaking the /v1 wire types. The zero
 // value is not usable; construct with NewClient. Methods return
 // *HTTPError for non-2xx responses.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy
 }
 
 // NewClient returns a client for the pixeld instance at baseURL (e.g.
 // "http://localhost:8080"). hc may be nil for http.DefaultClient.
-func NewClient(baseURL string, hc *http.Client) *Client {
+func NewClient(baseURL string, hc *http.Client, opts ...ClientOption) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
-// do issues one request and decodes the response into out (skipped
-// when out is nil). Non-2xx responses decode the error envelope.
+// do issues one request (retried under the client's policy, when set)
+// and decodes the response into out (skipped when out is nil).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.retry == nil {
+		return c.doOnce(ctx, method, path, in, out)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.retryDelay(attempt, lastErr)); err != nil {
+				return lastErr
+			}
+		}
+		lastErr = c.doOnce(ctx, method, path, in, out)
+		if lastErr == nil || !retryable(ctx, lastErr) {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// retryDelay is the sleep before try `attempt` (1-based over the
+// retries): exponential from BaseDelay capped at MaxDelay, overridden
+// upward by the server's Retry-After hint.
+func (c *Client) retryDelay(attempt int, lastErr error) time.Duration {
+	d := c.retry.BaseDelay << (attempt - 1)
+	if d > c.retry.MaxDelay || d <= 0 {
+		d = c.retry.MaxDelay
+	}
+	var he *HTTPError
+	if errors.As(lastErr, &he) && he.RetryAfterS > 0 {
+		if hint := time.Duration(he.RetryAfterS) * time.Second; hint > d {
+			d = hint
+		}
+	}
+	return d
+}
+
+// retryable classifies an attempt failure: transport errors and
+// Temporary HTTP statuses retry; context ends and request-shape
+// failures do not.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Temporary()
+	}
+	// Encode/decode failures are deterministic; everything else from
+	// http.Client.Do is a transport-level failure worth retrying.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var decodeErr *clientError
+	return !errors.As(err, &decodeErr)
+}
+
+// clientError marks deterministic client-side failures (encode/decode)
+// that must not be retried.
+type clientError struct{ err error }
+
+func (e *clientError) Error() string { return e.err.Error() }
+func (e *clientError) Unwrap() error { return e.err }
+
+// sleepCtx blocks for d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// doOnce issues one request and decodes the response into out (skipped
+// when out is nil). Non-2xx responses decode the error envelope.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
 		if err != nil {
-			return fmt.Errorf("api: encode request: %w", err)
+			return &clientError{fmt.Errorf("api: encode request: %w", err)}
 		}
 		body = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return fmt.Errorf("api: build request: %w", err)
+		return &clientError{fmt.Errorf("api: build request: %w", err)}
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -84,7 +221,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("api: decode response: %w", err)
+		return &clientError{fmt.Errorf("api: decode response: %w", err)}
 	}
 	return nil
 }
@@ -139,8 +276,31 @@ func (c *Client) Designs(ctx context.Context) ([]string, error) {
 	return out.Designs, err
 }
 
-// Healthz checks liveness.
+// Healthz checks liveness: nil only for a 2xx probe. A draining or
+// unreachable server is an error, which is what a load balancer wants.
 func (c *Client) Healthz(ctx context.Context) error {
 	var out HealthResponse
 	return c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+}
+
+// Health fetches /healthz and reports the server's own status word
+// even on non-2xx probes (a draining pixeld answers 503 with status
+// "draining"), so health-aware routers can tell "shutting down" from
+// "gone". It never retries, whatever the client's policy — a prober
+// wants the answer now.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return HealthResponse{}, fmt.Errorf("api: build request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return HealthResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out HealthResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
+		return HealthResponse{}, fmt.Errorf("api: decode health response: %w", err)
+	}
+	return out, nil
 }

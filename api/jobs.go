@@ -62,9 +62,10 @@ type JobHandle struct {
 
 // JobStatusResponse is the GET /v1/jobs/{id} response. Result is the
 // job's final payload once State is "succeeded" (a RobustnessResponse
-// or SweepResponse by Kind); Partial carries the σ points completed so
-// far on a running robustness job. Adopted marks a job re-adopted from
-// its checkpoint after a server restart.
+// or SweepResponse by Kind); Partial carries the work completed so far
+// on a running job — a []JobPoint of σ points for a robustness job, a
+// []JobCell of priced grid cells for a sweep job. Adopted marks a job
+// re-adopted from its checkpoint after a server restart.
 type JobStatusResponse struct {
 	ID          string          `json:"id"`
 	Kind        string          `json:"kind"`
@@ -95,6 +96,19 @@ type JobPoint struct {
 	Index     int                   `json:"index"`
 	Point     pixel.YieldPoint      `json:"point"`
 	Protected *pixel.ProtectedPoint `json:"protected,omitempty"`
+}
+
+// JobCell is one priced grid cell of a sweep job, reported in
+// GET /v1/jobs/{id}'s partial while the job runs. Index is the cell's
+// position on the request's point grid (the row it will occupy in the
+// final SweepResponse's per-network slice). Cells are listed sorted by
+// network, then index. There is deliberately no per-cell SSE event —
+// a sweep can have tens of thousands of cells, which would swamp the
+// replayable event log; poll GET /v1/jobs/{id} instead.
+type JobCell struct {
+	Network string `json:"network"`
+	Index   int    `json:"index"`
+	Result  Result `json:"result"`
 }
 
 // JobEvent is one server-sent event from GET /v1/jobs/{id}/events.

@@ -1,0 +1,198 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers each request with the next status in script;
+// once the script is exhausted it answers 200 with an EvaluateResponse
+// body. 429 responses carry a Retry-After of 1s in the envelope.
+func scriptedServer(t *testing.T, script []int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= len(script) {
+			status := script[n-1]
+			w.Header().Set("Content-Type", "application/json")
+			if status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(status)
+				w.Write([]byte(`{"error":{"code":"overloaded","message":"shed","retry_after":1}}`))
+				return
+			}
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":{"code":"unavailable","message":"draining"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"network":"AlexNet","design":"OO","lanes":4,"bits":16,"edp_js":1}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestRetrySucceedsAfterFlakes(t *testing.T) {
+	// 429 then 503 then success: the retrying client must absorb both.
+	srv, calls := scriptedServer(t, []int{http.StatusTooManyRequests, http.StatusServiceUnavailable})
+	c := NewClient(srv.URL, srv.Client(), WithRetry(RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	}))
+	// The 429 carries Retry-After: 1s, which would stall the test; the
+	// hint is a floor, so prove separately (below) that it is honored,
+	// and here use a script whose only hinted response is the first.
+	start := time.Now()
+	res, err := c.Evaluate(context.Background(), EvaluateRequest{Network: "AlexNet", Design: "OO", Lanes: 4, Bits: 16})
+	if err != nil {
+		t.Fatalf("Evaluate after flakes: %v", err)
+	}
+	if res.EDP != 1 {
+		t.Fatalf("EDP = %v, want 1", res.EDP)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	// The 429's Retry-After: 1s must have been honored as a floor over
+	// the millisecond policy delays.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("elapsed %v, want >= 1s (Retry-After floor ignored)", elapsed)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	// Permanent 503s: the client gives up after MaxAttempts and
+	// surfaces the last HTTPError.
+	srv, calls := scriptedServer(t, []int{
+		http.StatusServiceUnavailable, http.StatusServiceUnavailable,
+		http.StatusServiceUnavailable, http.StatusServiceUnavailable,
+	})
+	c := NewClient(srv.URL, srv.Client(), WithRetry(RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+	}))
+	_, err := c.Evaluate(context.Background(), EvaluateRequest{Network: "AlexNet", Design: "OO", Lanes: 4, Bits: 16})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 HTTPError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (MaxAttempts)", got)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentStatus(t *testing.T) {
+	// A 404 is not fixed by waiting: exactly one attempt.
+	srv, calls := scriptedServer(t, []int{http.StatusNotFound, http.StatusNotFound})
+	c := NewClient(srv.URL, srv.Client(), WithRetry(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+	}))
+	_, err := c.Evaluate(context.Background(), EvaluateRequest{Network: "nope", Design: "OO", Lanes: 4, Bits: 16})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 HTTPError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on 404)", got)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	// Cancelling mid-backoff ends the loop without burning the
+	// remaining attempts; the last real error is returned, not the
+	// context error, so callers still see what the server said.
+	srv, calls := scriptedServer(t, []int{
+		http.StatusServiceUnavailable, http.StatusServiceUnavailable,
+		http.StatusServiceUnavailable, http.StatusServiceUnavailable,
+	})
+	c := NewClient(srv.URL, srv.Client(), WithRetry(RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Hour, // backoff would stall forever without ctx
+		MaxDelay:    time.Hour,
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Evaluate(ctx, EvaluateRequest{Network: "AlexNet", Design: "OO", Lanes: 4, Bits: 16})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first attempt land
+	cancel()
+	select {
+	case err := <-done:
+		var he *HTTPError
+		if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+			t.Fatalf("err = %v, want the last 503 HTTPError", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry loop did not stop on context cancel")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (cancelled during backoff)", got)
+	}
+}
+
+func TestRetryTransportError(t *testing.T) {
+	// A connection-refused transport error retries too: point the
+	// client at a server that is closed for the first attempts.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"networks":["a"]}`))
+	}))
+	url := srv.URL
+	srv.Close() // now every dial fails
+	c := NewClient(url, nil, WithRetry(RetryPolicy{
+		MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+	}))
+	start := time.Now()
+	_, err := c.Networks(context.Background())
+	if err == nil {
+		t.Fatal("Networks against closed server: want error")
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		t.Fatalf("err = %v, want transport error, got HTTPError", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("transport retry took implausibly long")
+	}
+}
+
+func TestHealthReportsDrainingStatus(t *testing.T) {
+	// Health must return the server's status word even on a 503 — and
+	// must not retry it, even on a retrying client.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining"}`))
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client(), WithRetry(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+	}))
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("Status = %q, want draining", h.Status)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (Health never retries)", got)
+	}
+
+	// Healthz (the strict probe) must report the 503 as an error.
+	hc := NewClient(srv.URL, srv.Client())
+	if err := hc.Healthz(context.Background()); err == nil {
+		t.Fatal("Healthz on draining server: want error")
+	}
+}

@@ -80,6 +80,14 @@ func wireSamples() map[string]any {
 			},
 			Protected: &pixel.ProtectedPoint{Calls: 48, Retries: 6, Disagreements: 2, GaveUp: 1, RetryFactor: 1.125},
 		},
+		"job_cell": JobCell{
+			Network: "lenet", Index: 3,
+			Result: Result{
+				Network: "lenet", Design: "OE", Lanes: 8, Bits: 4,
+				EnergyJ: 0.25, LatencyS: 0.5, EDP: 0.125,
+				Energy: map[string]float64{"mul": 0.1, "laser": 0.15},
+			},
+		},
 		"job_event": JobEvent{
 			Seq: 7, Type: JobEventProgress,
 			Data: json.RawMessage(`{"done":48,"total":96}`),

@@ -19,6 +19,11 @@
 // profiling endpoints (/debug/pprof/...) on a separate listener, off
 // by default and intended for loopback only.
 //
+// With -coordinator pixeld runs as a fleet coordinator instead of a
+// worker: it serves the same /v1 surface but fans sweeps and
+// robustness runs out across the named worker pixelds, merging shard
+// responses byte-identically to a single node (see docs/FLEET.md).
+//
 // Usage:
 //
 //	pixeld -addr :8764
@@ -26,6 +31,7 @@
 //	pixeld -addr :8764 -batch-size 64 -batch-window 2ms
 //	pixeld -addr :8764 -jobs-dir /var/lib/pixeld/jobs -job-ttl 1h
 //	pixeld -addr :8764 -pprof-addr 127.0.0.1:6060
+//	pixeld -addr :8765 -coordinator 127.0.0.1:8764,127.0.0.1:8766
 //
 // pixeld prints "pixeld: listening on <host:port>" once the listener
 // is bound (so :0 callers can discover the port) and drains in-flight
@@ -42,10 +48,12 @@ import (
 	_ "net/http/pprof" // profiling endpoints, served only on -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pixel"
+	"pixel/fleet"
 	"pixel/internal/jobs"
 	"pixel/internal/server"
 )
@@ -74,8 +82,13 @@ func run(args []string, stdout *os.File) error {
 	maxJobs := fs.Int("max-jobs", jobs.DefaultMaxJobs, "max jobs tracked before POST /v1/jobs answers 429")
 	maxRunningJobs := fs.Int("max-running-jobs", jobs.DefaultMaxRunning, "max concurrently executing jobs; the rest queue")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	coordinator := fs.String("coordinator", "", "run as a fleet coordinator over this comma-separated worker list (host:port,...) instead of evaluating locally")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *coordinator != "" {
+		return runCoordinator(*coordinator, *addr, *requestTimeout, *maxTrials, *maxJobs, *maxRunningJobs, *jobTTL, *drain, stdout)
 	}
 
 	var mgr *jobs.Manager
@@ -141,4 +154,40 @@ func run(args []string, stdout *os.File) error {
 		"max_inflight", *maxInFlight, "queue_timeout", *queueTimeout,
 		"request_timeout", *requestTimeout)
 	return srv.Serve(ctx, ln, *drain)
+}
+
+// runCoordinator is the -coordinator mode: same listener contract and
+// shutdown behavior as a worker, but requests fan out to the named
+// workers instead of evaluating locally.
+func runCoordinator(workerList, addr string, requestTimeout time.Duration, maxTrials, maxJobs, maxRunningJobs int, jobTTL, drain time.Duration, stdout *os.File) error {
+	var workers []string
+	for _, w := range strings.Split(workerList, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fl, err := fleet.New(fleet.Options{
+		Workers:        workers,
+		RequestTimeout: requestTimeout,
+		MaxTrials:      maxTrials,
+		MaxJobs:        maxJobs,
+		MaxRunningJobs: maxRunningJobs,
+		JobTTL:         jobTTL,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pixeld: listening on %s\n", ln.Addr())
+	logger.Info("coordinating", "addr", ln.Addr().String(), "workers", workers)
+	return fl.Serve(ctx, ln, drain)
 }

@@ -115,7 +115,14 @@ func (e *Engine) SweepContext(ctx context.Context, network string, points []Poin
 		}
 		jobs[i] = job
 	}
-	costs, err := e.eng.Run(ctx, jobs, opts.runOptions())
+	ro := opts.runOptions()
+	if opts != nil && opts.Cell != nil {
+		cell := opts.Cell
+		ro.OnJob = func(i int, c arch.NetworkCost) {
+			cell(network, i, resultFromCost(network, points[i], c))
+		}
+	}
+	costs, err := e.eng.Run(ctx, jobs, ro)
 	if err != nil {
 		return nil, err
 	}

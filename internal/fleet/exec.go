@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"pixel/api"
+)
+
+// runShard executes one shard call against the fleet. The primary arm
+// starts on the shard key's ring owner and walks ring successors with
+// exponential backoff (the worker's Retry-After hint honored as a
+// floor — the worker knows its own drain); once the route's latency
+// window knows what "slow" means, a straggling primary is hedged with
+// one duplicate arm on a rotated worker order and the first result
+// wins, the loser cancelled through the shared arm context.
+func runShard[T any](ctx context.Context, c *Coordinator, route, key string, call func(context.Context, *api.Client) (T, error)) (T, error) {
+	var zero T
+	order := c.candidates(key)
+	armCtx, cancelArms := context.WithCancel(ctx)
+	defer cancelArms()
+
+	type armResult struct {
+		v      T
+		worker string
+		hedge  bool
+		err    error
+	}
+	results := make(chan armResult, 2)
+	start := time.Now()
+	launch := func(rot int, hedge bool) {
+		rotated := append(append(make([]*worker, 0, len(order)), order[rot%len(order):]...), order[:rot%len(order)]...)
+		go func() {
+			v, name, err := runArm(armCtx, c, rotated, call)
+			results <- armResult{v, name, hedge, err}
+		}()
+	}
+	launch(0, false)
+	outstanding := 1
+
+	var hedgeC <-chan time.Time
+	if len(order) > 1 {
+		if d, ok := c.hedgeDelay(route); ok {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			hedgeC = t.C
+		}
+	}
+
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				if r.hedge {
+					c.metrics.hedgesWon.Add(1)
+				}
+				elapsed := time.Since(start)
+				c.window(route).observe(elapsed)
+				c.metrics.observeShard(route, r.worker, elapsed.Seconds())
+				return r.v, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				// Each arm already walked every candidate; a pending hedge
+				// timer has nothing new to try.
+				return zero, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			c.metrics.hedgesFired.Add(1)
+			launch(1, true)
+			outstanding++
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// runArm tries the shard on each worker in order, wrapping around
+// until the attempt budget runs out. It returns the winning worker's
+// name with the result, and stops early on permanent errors — a 400
+// from one worker is a 400 from them all.
+func runArm[T any](ctx context.Context, c *Coordinator, order []*worker, call func(context.Context, *api.Client) (T, error)) (T, string, error) {
+	var zero T
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.metrics.retries.Add(1)
+			if err := sleepCtx(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return zero, "", lastErr
+			}
+		}
+		w := order[attempt%len(order)]
+		v, err := call(ctx, w.client)
+		if err == nil {
+			return v, w.name, nil
+		}
+		lastErr = err
+		if !retryableErr(ctx, err) {
+			return zero, "", err
+		}
+	}
+	return zero, "", lastErr
+}
+
+// backoff is the sleep before retry attempt (1-based): exponential
+// from RetryBaseDelay capped at RetryMaxDelay, with the worker's
+// Retry-After hint honored as a floor even above the cap.
+func (c *Coordinator) backoff(attempt int, lastErr error) time.Duration {
+	d := c.opts.RetryBaseDelay << (attempt - 1)
+	if d > c.opts.RetryMaxDelay || d <= 0 {
+		d = c.opts.RetryMaxDelay
+	}
+	var he *api.HTTPError
+	if errors.As(lastErr, &he) && he.RetryAfterS > 0 {
+		if hint := time.Duration(he.RetryAfterS) * time.Second; hint > d {
+			d = hint
+		}
+	}
+	return d
+}
+
+// retryableErr classifies a shard attempt failure: transport errors
+// and temporary HTTP statuses (429, 503) are worth another worker;
+// context ends and permanent statuses are not.
+func retryableErr(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var he *api.HTTPError
+	if errors.As(err, &he) {
+		return he.Temporary()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// sleepCtx blocks for d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,339 @@
+// Package fleet is pixeld's scale-out layer: a coordinator that
+// splits sweep grids and Monte-Carlo robustness runs into shards,
+// fans the shards across a fleet of worker pixelds over the public
+// /v1 wire API (pixel/api), and merges the shard responses into a
+// payload byte-identical to what a single pixeld would have produced.
+//
+// Determinism is the contract. Sweep shards are contiguous,
+// cross-product-expressible blocks of the canonical design-major grid,
+// so every shard sub-request is itself a valid /v1/sweep body and each
+// worker prices exactly its rows of the full grid in the full grid's
+// order. Robustness shards are contiguous σ-axis chunks: the engine's
+// trial seeds deliberately exclude σ (see internal/montecarlo), so a
+// worker running a σ subset samples exactly the draws the full axis
+// would, and the unperturbed baseline is σ-independent and merely
+// cross-checked at merge time.
+//
+// Operationally the coordinator brings what a fan-out needs: per-shard
+// retry with exponential backoff honoring Retry-After, ring-successor
+// failover, straggler hedging once a latency window knows what "slow"
+// means, /healthz probing with eviction and revival, consistent-hash
+// routing that keeps each design point hot in exactly one worker's
+// result LRU, and Prometheus metrics under the pixelfleet_ prefix.
+//
+// The coordinator serves the same /v1 routes as a worker — clients
+// cannot tell them apart — and is surfaced as `pixeld -coordinator`
+// and the pixel/fleet facade. See docs/FLEET.md.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pixel/api"
+	"pixel/internal/jobs"
+)
+
+// Defaults for the Options knobs.
+const (
+	DefaultShardsPerWorker    = 2
+	DefaultMaxAttempts        = 4
+	DefaultRetryBaseDelay     = 25 * time.Millisecond
+	DefaultRetryMaxDelay      = 1 * time.Second
+	DefaultHedgePercentile    = 0.95
+	DefaultHedgeMinSamples    = 8
+	DefaultHedgeMinDelay      = 50 * time.Millisecond
+	DefaultProbeInterval      = 1 * time.Second
+	DefaultProbeTimeout       = 2 * time.Second
+	DefaultProbeFailThreshold = 3
+	DefaultRequestTimeout     = 30 * time.Second
+	DefaultMaxTrials          = 4096
+)
+
+// Options configures a Coordinator. Workers is required; everything
+// else has a serving-sane default.
+type Options struct {
+	// Workers are the worker pixeld addresses ("host:port" or full
+	// base URLs). Required, at least one.
+	Workers []string
+	// HTTPClient carries shard requests; nil means http.DefaultClient.
+	// Per-request deadlines ride on contexts, not the client.
+	HTTPClient *http.Client
+	// ShardsPerWorker scales the shard target: a request splits into
+	// about healthy-workers x ShardsPerWorker shards; <= 0 means
+	// DefaultShardsPerWorker.
+	ShardsPerWorker int
+	// MaxAttempts is the per-arm attempt budget of one shard, the first
+	// try included; successive attempts walk the shard key's ring
+	// successors. <= 0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// RetryBaseDelay is the first backoff sleep; it doubles per retry
+	// up to RetryMaxDelay. A worker Retry-After hint above the cap is
+	// honored anyway. <= 0 means the defaults.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// HedgePercentile is the shard-latency quantile that arms the
+	// straggler deadline; a primary still running past it gets one
+	// duplicate arm on a rotated worker order, first result wins.
+	// <= 0 means DefaultHedgePercentile.
+	HedgePercentile float64
+	// HedgeMinSamples is how many shard latencies a route must have
+	// observed before hedging arms at all; <= 0 means
+	// DefaultHedgeMinSamples.
+	HedgeMinSamples int
+	// HedgeMinDelay floors the hedge deadline so naturally-fast routes
+	// do not hedge on scheduling noise; <= 0 means DefaultHedgeMinDelay.
+	HedgeMinDelay time.Duration
+	// ProbeInterval, ProbeTimeout and ProbeFailThreshold tune the
+	// /healthz prober: a worker is evicted after ProbeFailThreshold
+	// consecutive bad probes (immediately when it reports "draining"),
+	// and one good probe revives it. <= 0 means the defaults.
+	ProbeInterval      time.Duration
+	ProbeTimeout       time.Duration
+	ProbeFailThreshold int
+	// RequestTimeout bounds one synchronous coordinator request end to
+	// end, shard fan-out included; <= 0 means DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// MaxTrials bounds the per-request trial count of a robustness
+	// sweep, mirroring the worker-side cap; <= 0 means DefaultMaxTrials.
+	MaxTrials int
+	// MaxJobs, MaxRunningJobs, JobTTL and Heartbeat configure the
+	// coordinator's job registry (see jobs.RegistryOptions and the
+	// server's JobsConfig). Coordinator jobs are in-memory only: the
+	// expensive state lives in the workers' result caches, so a
+	// restarted coordinator simply re-runs and the workers re-serve.
+	MaxJobs        int
+	MaxRunningJobs int
+	JobTTL         time.Duration
+	Heartbeat      time.Duration
+	// Logger receives structured logs; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// withDefaults returns o with every unset knob defaulted.
+func (o Options) withDefaults() Options {
+	if o.ShardsPerWorker <= 0 {
+		o.ShardsPerWorker = DefaultShardsPerWorker
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = DefaultRetryBaseDelay
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = DefaultRetryMaxDelay
+	}
+	if o.HedgePercentile <= 0 || o.HedgePercentile > 1 {
+		o.HedgePercentile = DefaultHedgePercentile
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = DefaultHedgeMinSamples
+	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = DefaultHedgeMinDelay
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = DefaultProbeInterval
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = DefaultProbeTimeout
+	}
+	if o.ProbeFailThreshold <= 0 {
+		o.ProbeFailThreshold = DefaultProbeFailThreshold
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.MaxTrials <= 0 {
+		o.MaxTrials = DefaultMaxTrials
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 15 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// worker is one fleet member: its configured name (the metric label),
+// a non-retrying API client (the coordinator's executor owns retry and
+// failover so it can count them and fail over between workers), and
+// the health bit the prober flips and the candidate ordering reads.
+type worker struct {
+	name    string
+	client  *api.Client
+	healthy atomic.Bool
+}
+
+// Coordinator fans /v1 requests across a worker fleet. Construct with
+// New; Close releases its background machinery.
+type Coordinator struct {
+	opts    Options
+	workers []*worker
+	ring    *ring
+	metrics *metrics
+	prober  *prober
+	reg     *jobs.Registry
+	logger  *slog.Logger
+
+	latMu sync.Mutex
+	lat   map[string]*latencyWindow
+
+	draining  atomic.Bool
+	closeOnce sync.Once
+}
+
+// New builds a Coordinator over the given workers. Workers start
+// healthy (optimistically — requests flow before the first probe) and
+// the prober starts immediately.
+func New(opts Options) (*Coordinator, error) {
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("fleet: Options.Workers must name at least one worker")
+	}
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:    opts,
+		workers: make([]*worker, len(opts.Workers)),
+		ring:    newRing(opts.Workers),
+		metrics: newMetrics(),
+		logger:  opts.Logger,
+		lat:     map[string]*latencyWindow{},
+	}
+	for i, addr := range opts.Workers {
+		base := addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		w := &worker{name: addr, client: api.NewClient(base, opts.HTTPClient)}
+		w.healthy.Store(true)
+		c.workers[i] = w
+	}
+	c.reg = jobs.NewRegistry(jobs.RegistryOptions{
+		Factory:    c.buildJobTask,
+		MaxJobs:    opts.MaxJobs,
+		MaxRunning: opts.MaxRunningJobs,
+		TTL:        opts.JobTTL,
+		Logger:     opts.Logger,
+	})
+	c.prober = startProber(c)
+	return c, nil
+}
+
+// Close stops the prober and the job registry (running coordinator
+// jobs are cancelled; they hold no durable state).
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		c.prober.shutdown()
+		c.reg.Close()
+	})
+}
+
+// Serve runs the coordinator on ln until ctx is cancelled, then drains
+// in-flight requests for at most drain — the same lifecycle as a
+// worker pixeld, /healthz "draining" included.
+func (c *Coordinator) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	hs := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(c.logger.Handler(), slog.LevelWarn),
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		c.draining.Store(true)
+		c.logger.Info("fleet: shutting down", "drain", drain)
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(dctx)
+	}()
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	err := <-shutdownErr
+	c.Close()
+	return err
+}
+
+// healthyCount returns how many workers the prober currently trusts.
+func (c *Coordinator) healthyCount() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// shardTarget is how many shards the next fan-out should aim for:
+// enough to keep every healthy worker busy with a little over-split
+// for balance. A fully-dark fleet still plans against the nominal
+// size — the executor will surface the real transport errors.
+func (c *Coordinator) shardTarget() int {
+	n := c.healthyCount()
+	if n == 0 {
+		n = len(c.workers)
+	}
+	return n * c.opts.ShardsPerWorker
+}
+
+// candidates orders the shard key's ring sequence healthy-first: the
+// owner (or its first healthy successor) serves the shard, and
+// unhealthy workers stay at the tail as a last resort so a fully-dark
+// fleet surfaces the real error instead of "no workers".
+func (c *Coordinator) candidates(key string) []*worker {
+	seq := c.ring.sequence(key)
+	up := make([]*worker, 0, len(seq))
+	var down []*worker
+	for _, wi := range seq {
+		w := c.workers[wi]
+		if w.healthy.Load() {
+			up = append(up, w)
+		} else {
+			down = append(down, w)
+		}
+	}
+	return append(up, down...)
+}
+
+// latencyWindowSize bounds the per-route shard-latency history the
+// hedge deadline is computed from.
+const latencyWindowSize = 128
+
+// window returns the route's latency window, creating it on first use.
+func (c *Coordinator) window(route string) *latencyWindow {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	w, ok := c.lat[route]
+	if !ok {
+		w = newLatencyWindow(latencyWindowSize)
+		c.lat[route] = w
+	}
+	return w
+}
+
+// hedgeDelay is how long a shard's primary arm may run before a
+// duplicate launches: the route's observed latency percentile, floored
+// by HedgeMinDelay. No deadline exists until the window has seen
+// HedgeMinSamples shards — hedging without a baseline would just
+// double every request.
+func (c *Coordinator) hedgeDelay(route string) (time.Duration, bool) {
+	w := c.window(route)
+	if w.count() < c.opts.HedgeMinSamples {
+		return 0, false
+	}
+	d := w.percentile(c.opts.HedgePercentile)
+	if d < c.opts.HedgeMinDelay {
+		d = c.opts.HedgeMinDelay
+	}
+	return d, true
+}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+
+	"pixel"
+	"pixel/api"
+)
+
+// Handler returns the coordinator's routing tree: the same routes with
+// the same envelopes as a worker pixeld, so clients point at a
+// coordinator with zero changes. Catalog routes (/v1/networks,
+// /v1/designs) answer locally — the coordinator links the same model
+// zoo and design table as its workers.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", c.instrument("/healthz", c.handleHealthz))
+	mux.Handle("GET /metrics", c.instrument("/metrics", c.handleMetrics))
+	mux.Handle("GET /v1/networks", c.instrument("/v1/networks", c.handleNetworks))
+	mux.Handle("GET /v1/designs", c.instrument("/v1/designs", c.handleDesigns))
+	mux.Handle("POST /v1/evaluate", c.instrument("/v1/evaluate", c.handleEvaluate))
+	mux.Handle("POST /v1/sweep", c.instrument("/v1/sweep", c.handleSweep))
+	mux.Handle("POST /v1/map", c.instrument("/v1/map", c.handleMap))
+	mux.Handle("POST /v1/robustness", c.instrument("/v1/robustness", c.handleRobustness))
+	mux.Handle("POST /v1/infer", c.instrument("/v1/infer", c.handleInfer))
+	mux.Handle("POST /v1/jobs", c.instrument("/v1/jobs", c.handleJobCreate))
+	mux.Handle("GET /v1/jobs/{id}", c.instrument("/v1/jobs/{id}", c.handleJobGet))
+	mux.Handle("DELETE /v1/jobs/{id}", c.instrument("/v1/jobs/{id}", c.handleJobDelete))
+	mux.Handle("GET /v1/jobs/{id}/events", c.instrument("/v1/jobs/{id}/events", c.handleJobEvents))
+	return mux
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, api.HealthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.metrics.write(w, c.healthyCount(), len(c.workers))
+}
+
+func (c *Coordinator) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.NetworksResponse{Networks: pixel.Networks()})
+}
+
+func (c *Coordinator) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, 3)
+	for _, d := range pixel.Designs() {
+		names = append(names, d.String())
+	}
+	writeJSON(w, http.StatusOK, api.DesignsResponse{Designs: names})
+}
+
+// requestCtx bounds one synchronous fan-out end to end.
+func (c *Coordinator) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), c.opts.RequestTimeout)
+}
+
+func (c *Coordinator) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req api.EvaluateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := c.requestCtx(r)
+	defer cancel()
+	res, err := c.Evaluate(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := c.requestCtx(r)
+	defer cancel()
+	resp, err := c.Sweep(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleRobustness(w http.ResponseWriter, r *http.Request) {
+	var req api.RobustnessRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := c.requestCtx(r)
+	defer cancel()
+	resp, err := c.Robustness(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req api.MapRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := c.requestCtx(r)
+	defer cancel()
+	resp, err := c.Map(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req api.InferRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := c.requestCtx(r)
+	defer cancel()
+	resp, err := c.Infer(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

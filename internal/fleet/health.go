@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// prober owns worker health: it hits every worker's /healthz on a
+// fixed cadence and flips the shared healthy bits that candidate
+// ordering reads. A worker is evicted — it stops receiving new shards;
+// in-flight shards fail over to its ring successors, which is the
+// re-queue — after ProbeFailThreshold consecutive bad probes, or
+// immediately when it reports "draining" (the worker itself asking for
+// no more work). One good probe revives it.
+type prober struct {
+	c     *Coordinator
+	stop  chan struct{}
+	done  chan struct{}
+	fails []int // consecutive bad probes per worker; element i touched only by worker i's probe goroutine per sweep
+}
+
+func startProber(c *Coordinator) *prober {
+	p := &prober{
+		c:     c,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		fails: make([]int, len(c.workers)),
+	}
+	go p.run()
+	return p
+}
+
+func (p *prober) shutdown() {
+	close(p.stop)
+	<-p.done
+}
+
+func (p *prober) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.c.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.sweep()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// sweep probes all workers concurrently so one black-holed worker's
+// timeout does not delay the others' verdicts.
+func (p *prober) sweep() {
+	var wg sync.WaitGroup
+	for i := range p.c.workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.probe(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (p *prober) probe(i int) {
+	w := p.c.workers[i]
+	ctx, cancel := context.WithTimeout(context.Background(), p.c.opts.ProbeTimeout)
+	defer cancel()
+	h, err := w.client.Health(ctx)
+	if err == nil && h.Status == "ok" {
+		p.fails[i] = 0
+		if !w.healthy.Swap(true) {
+			p.c.metrics.revivals.Add(1)
+			p.c.logger.Info("fleet: worker revived", "worker", w.name)
+		}
+		return
+	}
+	p.fails[i]++
+	draining := err == nil && h.Status == "draining"
+	if draining || p.fails[i] >= p.c.opts.ProbeFailThreshold {
+		if w.healthy.Swap(false) {
+			p.c.metrics.evictions.Add(1)
+			p.c.logger.Warn("fleet: worker evicted",
+				"worker", w.name, "consecutive_fails", p.fails[i], "draining", draining, "err", err)
+		}
+	}
+}

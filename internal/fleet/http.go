@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pixel"
+	"pixel/api"
+	"pixel/internal/jobs"
+)
+
+// statusClientClosedRequest is the nginx-convention status recorded
+// when the client hung up before the response was ready.
+const statusClientClosedRequest = 499
+
+// httpError carries an explicit status and code for request-shape
+// failures the coordinator detects itself (bad JSON, missing fields).
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, code: "bad_request", msg: fmt.Sprintf(format, args...)}
+}
+
+// errorTable maps the sentinels the coordinator can surface locally
+// (validation before fan-out, registry admission, context ends) onto
+// the same statuses and wire codes a worker uses; first match wins.
+var errorTable = []struct {
+	is     error
+	status int
+	code   string
+}{
+	{jobs.ErrRegistryFull, http.StatusTooManyRequests, "overloaded"},
+	{jobs.ErrBadLastEventID, http.StatusBadRequest, "bad_request"},
+	{pixel.ErrUnknownNetwork, http.StatusNotFound, "unknown_network"},
+	{pixel.ErrUnknownDesign, http.StatusBadRequest, "unknown_design"},
+	{pixel.ErrBadPrecision, http.StatusBadRequest, "bad_precision"},
+	{pixel.ErrBadGrid, http.StatusBadRequest, "bad_grid"},
+	{pixel.ErrBadSpec, http.StatusBadRequest, "bad_spec"},
+	{context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline_exceeded"},
+	{context.Canceled, statusClientClosedRequest, "client_closed_request"},
+}
+
+// classify maps an error onto (status, wire detail). Worker-reported
+// HTTP errors pass through with their original status, code and retry
+// hint — a 404 unknown_network from a shard is a 404 unknown_network
+// from the fleet, so clients cannot tell a coordinator from a single
+// node by its failures.
+func classify(err error) (int, api.Error) {
+	var he *api.HTTPError
+	if errors.As(err, &he) {
+		return he.Status, api.Error{Code: he.Code, Message: he.Message, RetryAfterS: he.RetryAfterS}
+	}
+	var le *httpError
+	if errors.As(err, &le) {
+		return le.status, api.Error{Code: le.code, Message: le.msg}
+	}
+	for _, e := range errorTable {
+		if errors.Is(err, e.is) {
+			detail := api.Error{Code: e.code, Message: err.Error()}
+			if e.status == http.StatusTooManyRequests {
+				detail.RetryAfterS = 1
+			}
+			return e.status, detail
+		}
+	}
+	return http.StatusInternalServerError, api.Error{Code: "internal", Message: err.Error()}
+}
+
+// writeError renders err through the same envelope a worker uses.
+func writeError(w http.ResponseWriter, err error) {
+	status, detail := classify(err)
+	if detail.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(detail.RetryAfterS))
+	}
+	writeJSON(w, status, api.ErrorEnvelope{Error: detail})
+}
+
+// writeJSON matches the worker's encoder settings exactly (two-space
+// indent) — merged fleet responses must be byte-identical to
+// single-node ones, and the framing is part of that.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+// decodeJSON parses a bounded request body strictly, mirroring the
+// worker's limits and message.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequestf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// statusRecorder captures the status and body size a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming support so the SSE job route works through
+// the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with per-route request metrics and a
+// structured log line.
+func (c *Coordinator) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		c.metrics.observeRequest(route, rec.status)
+		c.logger.Info("fleet request",
+			"method", r.Method,
+			"route", route,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration", elapsed,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

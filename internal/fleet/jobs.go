@@ -1,0 +1,292 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"pixel/api"
+	"pixel/internal/jobs"
+)
+
+// strictUnmarshal mirrors the worker's job-spec decoding: unknown
+// fields fail at submission with the same message.
+func strictUnmarshal(spec json.RawMessage, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(spec))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequestf("bad job spec: %v", err)
+	}
+	return nil
+}
+
+// buildJobTask is the coordinator's jobs.Factory. Validation runs
+// eagerly through the same planners the synchronous routes use — a bad
+// spec is rejected at POST /v1/jobs, before any worker sees it — and
+// the returned tasks fan shards out at Run time, folding each shard
+// response into chunked partial results as it lands.
+func (c *Coordinator) buildJobTask(kind string, spec json.RawMessage) (jobs.Task, error) {
+	switch kind {
+	case api.JobKindRobustness:
+		var req api.RobustnessRequest
+		if err := strictUnmarshal(spec, &req); err != nil {
+			return nil, err
+		}
+		if _, err := planRobustness(req, c.opts.MaxTrials, 1); err != nil {
+			return nil, err
+		}
+		return &fleetRobustnessTask{
+			c:      c,
+			req:    req,
+			total:  len(req.Sigmas) * req.Trials,
+			points: map[int]api.JobPoint{},
+		}, nil
+
+	case api.JobKindSweep:
+		var req api.SweepRequest
+		if err := strictUnmarshal(spec, &req); err != nil {
+			return nil, err
+		}
+		_, points, err := planSweep(req, 1)
+		if err != nil {
+			return nil, err
+		}
+		return &fleetSweepTask{
+			c:     c,
+			req:   req,
+			total: len(req.Networks) * points,
+			cells: map[sweepCellKey]api.JobCell{},
+		}, nil
+
+	default:
+		return nil, badRequestf("unknown job kind %q (have %q, %q)", kind, api.JobKindRobustness, api.JobKindSweep)
+	}
+}
+
+// errNoCheckpoint marks coordinator tasks as non-resumable. The
+// registry never asks (it has no Manager): the expensive state lives in
+// the workers' result caches, so a restarted coordinator re-runs
+// cheaply instead of checkpointing.
+var errNoCheckpoint = errors.New("fleet: coordinator jobs do not checkpoint")
+
+// fleetSweepTask runs a sweep job by fanning shards across the fleet.
+// Progress advances a whole shard at a time, and landed shard cells
+// become the chunked partial result — the same JobCell stream a worker
+// reports, just in shard-sized steps.
+type fleetSweepTask struct {
+	c     *Coordinator
+	req   api.SweepRequest
+	total int
+
+	mu    sync.Mutex
+	done  int
+	cells map[sweepCellKey]api.JobCell
+}
+
+type sweepCellKey struct {
+	network string
+	index   int
+}
+
+func (t *fleetSweepTask) Snapshot() ([]byte, error) { return nil, errNoCheckpoint }
+func (t *fleetSweepTask) Restore([]byte) error      { return errNoCheckpoint }
+
+func (t *fleetSweepTask) Progress() (int, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done, t.total
+}
+
+// Partial returns the grid cells landed so far, sorted by network then
+// index — the same shape and order a worker's sweep job reports.
+func (t *fleetSweepTask) Partial() any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]api.JobCell, 0, len(t.cells))
+	for _, c := range t.cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Network != out[j].Network {
+			return out[i].Network < out[j].Network
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+func (t *fleetSweepTask) Run(ctx context.Context, emit func(string, any)) (any, error) {
+	resp, err := t.c.runSweep(ctx, t.req, func(sh sweepShard, r api.SweepResponse) {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		for _, n := range t.req.Networks {
+			for j, res := range r.Results[n] {
+				idx := sh.Start + j
+				t.cells[sweepCellKey{n, idx}] = api.JobCell{Network: n, Index: idx, Result: res}
+			}
+		}
+		t.done += sh.Count * len(t.req.Networks)
+		emit(api.JobEventProgress, api.JobProgress{Done: t.done, Total: t.total})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// fleetRobustnessTask runs a robustness job by fanning σ-axis shards
+// across the fleet: one "point" event per σ point as its shard lands,
+// completed points as the poll-time partial result.
+type fleetRobustnessTask struct {
+	c     *Coordinator
+	req   api.RobustnessRequest
+	total int
+
+	mu     sync.Mutex
+	done   int
+	points map[int]api.JobPoint
+}
+
+func (t *fleetRobustnessTask) Snapshot() ([]byte, error) { return nil, errNoCheckpoint }
+func (t *fleetRobustnessTask) Restore([]byte) error      { return errNoCheckpoint }
+
+func (t *fleetRobustnessTask) Progress() (int, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done, t.total
+}
+
+// Partial returns the σ points completed so far, in axis order.
+func (t *fleetRobustnessTask) Partial() any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]api.JobPoint, 0, len(t.points))
+	for _, p := range t.points {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+func (t *fleetRobustnessTask) Run(ctx context.Context, emit func(string, any)) (any, error) {
+	rep, err := t.c.runRobustness(ctx, t.req, func(sh robustShard, r api.RobustnessResponse) {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		for j := range r.Points {
+			idx := sh.Lo + j
+			jp := api.JobPoint{Index: idx, Point: r.Points[j]}
+			if r.Protection != nil && j < len(r.Protection.Points) {
+				jp.Protected = &r.Protection.Points[j]
+			}
+			t.points[idx] = jp
+			emit(api.JobEventPoint, jp)
+		}
+		t.done += len(sh.Req.Sigmas) * t.req.Trials
+		emit(api.JobEventProgress, api.JobProgress{Done: t.done, Total: t.total})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (c *Coordinator) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req api.JobRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	var spec any
+	switch req.Kind {
+	case api.JobKindRobustness:
+		if req.Robustness == nil {
+			writeError(w, badRequestf("kind %q requires a robustness spec", req.Kind))
+			return
+		}
+		spec = req.Robustness
+	case api.JobKindSweep:
+		if req.Sweep == nil {
+			writeError(w, badRequestf("kind %q requires a sweep spec", req.Kind))
+			return
+		}
+		spec = req.Sweep
+	default:
+		writeError(w, badRequestf("unknown job kind %q (have %q, %q)", req.Kind, api.JobKindRobustness, api.JobKindSweep))
+		return
+	}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, fmt.Errorf("encode job spec: %w", err))
+		return
+	}
+	j, err := c.reg.Create(req.Kind, buf)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st := c.reg.Snapshot(j)
+	writeJSON(w, http.StatusAccepted, api.JobHandle{ID: j.ID, Kind: j.Kind, State: string(st.State)})
+}
+
+// jobByPath resolves {id}; a miss writes the 404 and returns nil.
+func (c *Coordinator) jobByPath(w http.ResponseWriter, r *http.Request) *jobs.Job {
+	id := r.PathValue("id")
+	j, ok := c.reg.Get(id)
+	if !ok {
+		writeError(w, &httpError{status: http.StatusNotFound, code: "not_found", msg: fmt.Sprintf("no job %q", id)})
+		return nil
+	}
+	return j
+}
+
+func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := c.jobByPath(w, r)
+	if j == nil {
+		return
+	}
+	st := c.reg.Snapshot(j)
+	resp := api.JobStatusResponse{
+		ID:          st.ID,
+		Kind:        st.Kind,
+		State:       string(st.State),
+		Done:        st.Done,
+		Total:       st.Total,
+		CreatedUnix: st.CreatedUnix,
+		Adopted:     st.Adopted,
+		Error:       st.Error,
+		Result:      json.RawMessage(st.Result),
+	}
+	if st.Partial != nil {
+		if buf, err := json.Marshal(st.Partial); err == nil {
+			resp.Partial = buf
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := c.reg.Delete(id); err != nil {
+		writeError(w, &httpError{status: http.StatusNotFound, code: "not_found", msg: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := c.jobByPath(w, r)
+	if j == nil {
+		return
+	}
+	err := c.reg.StreamEvents(w, r, j, c.opts.Heartbeat, func(st jobs.JobStatus) any {
+		return api.JobProgress{Done: st.Done, Total: st.Total, Error: st.Error}
+	})
+	if err != nil {
+		writeError(w, err)
+	}
+}

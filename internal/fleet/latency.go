@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow keeps the most recent shard durations of one route in
+// a fixed ring buffer — cheap enough for the request hot path — and
+// answers the percentile queries the hedge deadline needs.
+type latencyWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int // filled entries
+}
+
+func newLatencyWindow(size int) *latencyWindow {
+	return &latencyWindow{buf: make([]time.Duration, size)}
+}
+
+func (l *latencyWindow) observe(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+}
+
+func (l *latencyWindow) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// percentile returns the window's p-quantile (0 < p <= 1) by
+// nearest-rank, or 0 for an empty window.
+func (l *latencyWindow) percentile(p float64) time.Duration {
+	l.mu.Lock()
+	tmp := append([]time.Duration(nil), l.buf[:l.n]...)
+	l.mu.Unlock()
+	if len(tmp) == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	i := int(math.Ceil(p*float64(len(tmp)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(tmp) {
+		i = len(tmp) - 1
+	}
+	return tmp[i]
+}

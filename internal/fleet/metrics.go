@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// shardBuckets are the shard-latency histogram bounds [s]: a warm
+// worker answers an evaluate shard in well under a millisecond over
+// loopback, a cold multi-network sweep shard can run into seconds.
+var shardBuckets = []float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// metrics is the coordinator's registry, exported on /metrics in
+// Prometheus text exposition format under the pixelfleet_ prefix —
+// same hand-rolled writer discipline as the worker's pixeld_ set.
+type metrics struct {
+	hedgesFired atomic.Int64 // duplicate shard arms launched past the straggler deadline
+	hedgesWon   atomic.Int64 // hedged arms that beat their primary
+	retries     atomic.Int64 // shard attempts after the first (backoff + failover)
+	evictions   atomic.Int64 // healthy->unhealthy worker transitions
+	revivals    atomic.Int64 // unhealthy->healthy worker transitions
+
+	mu        sync.Mutex
+	requests  map[routeCode]int64   // completed coordinator requests by route+status
+	shards    map[workerRoute]int64 // shards served, by winning worker and route
+	durations map[string]*histogram // shard latency by route
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+type workerRoute struct {
+	worker string
+	route  string
+}
+
+type histogram struct {
+	counts []int64 // one per bucket, cumulative at render time only
+	sum    float64
+	count  int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  map[routeCode]int64{},
+		shards:    map[workerRoute]int64{},
+		durations: map[string]*histogram{},
+	}
+}
+
+// observeRequest records one completed coordinator HTTP request.
+func (m *metrics) observeRequest(route string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[routeCode{route, code}]++
+}
+
+// observeShard records one shard served by worker on route.
+func (m *metrics) observeShard(route, worker string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shards[workerRoute{worker, route}]++
+	h, ok := m.durations[route]
+	if !ok {
+		h = &histogram{counts: make([]int64, len(shardBuckets))}
+		m.durations[route] = h
+	}
+	for i, b := range shardBuckets {
+		if seconds <= b {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// shardCount returns the shards served by worker on route — the test
+// hook behind routing assertions.
+func (m *metrics) shardCount(route, worker string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shards[workerRoute{worker, route}]
+}
+
+// write renders the registry in Prometheus text format. Series are
+// emitted in sorted label order so scrapes are diffable.
+func (m *metrics) write(w io.Writer, healthy, total int) {
+	fmt.Fprintln(w, "# HELP pixelfleet_workers Configured workers in the fleet.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_workers gauge")
+	fmt.Fprintf(w, "pixelfleet_workers %d\n", total)
+
+	fmt.Fprintln(w, "# HELP pixelfleet_workers_healthy Workers the prober currently trusts.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_workers_healthy gauge")
+	fmt.Fprintf(w, "pixelfleet_workers_healthy %d\n", healthy)
+
+	fmt.Fprintln(w, "# HELP pixelfleet_hedges_fired_total Duplicate shard arms launched past the straggler deadline.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_hedges_fired_total counter")
+	fmt.Fprintf(w, "pixelfleet_hedges_fired_total %d\n", m.hedgesFired.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_hedges_won_total Hedged arms that beat their primary.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_hedges_won_total counter")
+	fmt.Fprintf(w, "pixelfleet_hedges_won_total %d\n", m.hedgesWon.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_shard_retries_total Shard attempts after the first (backoff and ring failover).")
+	fmt.Fprintln(w, "# TYPE pixelfleet_shard_retries_total counter")
+	fmt.Fprintf(w, "pixelfleet_shard_retries_total %d\n", m.retries.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_worker_evictions_total Workers evicted after failed or draining health probes.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_worker_evictions_total counter")
+	fmt.Fprintf(w, "pixelfleet_worker_evictions_total %d\n", m.evictions.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_worker_revivals_total Evicted workers revived by a good health probe.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_worker_revivals_total counter")
+	fmt.Fprintf(w, "pixelfleet_worker_revivals_total %d\n", m.revivals.Load())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP pixelfleet_requests_total Completed coordinator requests by route and status code.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_requests_total counter")
+	rcs := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		rcs = append(rcs, k)
+	}
+	sort.Slice(rcs, func(i, j int) bool {
+		if rcs[i].route != rcs[j].route {
+			return rcs[i].route < rcs[j].route
+		}
+		return rcs[i].code < rcs[j].code
+	})
+	for _, k := range rcs {
+		fmt.Fprintf(w, "pixelfleet_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP pixelfleet_shards_total Shards served, by winning worker and route.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_shards_total counter")
+	wrs := make([]workerRoute, 0, len(m.shards))
+	for k := range m.shards {
+		wrs = append(wrs, k)
+	}
+	sort.Slice(wrs, func(i, j int) bool {
+		if wrs[i].worker != wrs[j].worker {
+			return wrs[i].worker < wrs[j].worker
+		}
+		return wrs[i].route < wrs[j].route
+	})
+	for _, k := range wrs {
+		fmt.Fprintf(w, "pixelfleet_shards_total{worker=%q,route=%q} %d\n", k.worker, k.route, m.shards[k])
+	}
+
+	fmt.Fprintln(w, "# HELP pixelfleet_shard_duration_seconds Shard latency by route.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_shard_duration_seconds histogram")
+	routes := make([]string, 0, len(m.durations))
+	for r := range m.durations {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		h := m.durations[r]
+		var cum int64
+		for i, b := range shardBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "pixelfleet_shard_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				r, strconv.FormatFloat(b, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(w, "pixelfleet_shard_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, h.count)
+		fmt.Fprintf(w, "pixelfleet_shard_duration_seconds_sum{route=%q} %g\n", r, h.sum)
+		fmt.Fprintf(w, "pixelfleet_shard_duration_seconds_count{route=%q} %d\n", r, h.count)
+	}
+}

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"pixel"
+	"pixel/api"
+)
+
+// TestChunkRanges: contiguous cover of [0, n) with sizes differing by
+// at most one, for every (n, k) in a small exhaustive box.
+func TestChunkRanges(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for k := -1; k <= n+3; k++ {
+			rs := chunkRanges(n, k)
+			want := k
+			if want > n {
+				want = n
+			}
+			if want < 1 {
+				want = 1
+			}
+			if len(rs) != want {
+				t.Fatalf("chunkRanges(%d, %d) has %d ranges, want %d", n, k, len(rs), want)
+			}
+			lo, minSz, maxSz := 0, n+1, 0
+			for _, r := range rs {
+				if r[0] != lo || r[1] <= r[0] {
+					t.Fatalf("chunkRanges(%d, %d) = %v: not a contiguous cover", n, k, rs)
+				}
+				if sz := r[1] - r[0]; sz < minSz {
+					minSz = sz
+				} else if sz > maxSz {
+					maxSz = sz
+				}
+				lo = r[1]
+			}
+			if lo != n {
+				t.Fatalf("chunkRanges(%d, %d) = %v: covers [0, %d), want [0, %d)", n, k, rs, lo, n)
+			}
+			if maxSz > 0 && maxSz-minSz > 1 {
+				t.Fatalf("chunkRanges(%d, %d) = %v: sizes differ by more than one", n, k, rs)
+			}
+		}
+	}
+}
+
+// TestPlanSweepCoversGrid: at every shard target, the shards are
+// contiguous blocks whose sub-request cross products reproduce the full
+// canonical grid in order.
+func TestPlanSweepCoversGrid(t *testing.T) {
+	req := api.SweepRequest{
+		Networks: []string{"lenet", "alexnet"},
+		Lanes:    []int{2, 4, 8, 16},
+		Bits:     []int{2, 4, 6, 8},
+	}
+	designs := pixel.Designs()
+	full := pixel.Grid(designs, req.Lanes, req.Bits)
+	for _, target := range []int{0, 1, 2, 3, 5, 7, 12, 30, 48, 100} {
+		shards, points, err := planSweep(req, target)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if points != len(full) {
+			t.Fatalf("target %d: points = %d, want %d", target, points, len(full))
+		}
+		next := 0
+		for _, sh := range shards {
+			if sh.Start != next {
+				t.Fatalf("target %d: shard starts at %d, want %d", target, sh.Start, next)
+			}
+			sub := make([]pixel.Design, 0, len(sh.Req.Designs))
+			for _, name := range sh.Req.Designs {
+				d, err := pixel.ParseDesign(name)
+				if err != nil {
+					t.Fatalf("target %d: %v", target, err)
+				}
+				sub = append(sub, d)
+			}
+			grid := pixel.Grid(sub, sh.Req.Lanes, sh.Req.Bits)
+			if len(grid) != sh.Count {
+				t.Fatalf("target %d: shard grid has %d points, Count = %d", target, len(grid), sh.Count)
+			}
+			for j, p := range grid {
+				if want := full[sh.Start+j]; p.String() != want.String() {
+					t.Fatalf("target %d: shard point %d = %s, full grid has %s", target, sh.Start+j, p, want)
+				}
+			}
+			next += sh.Count
+		}
+		if next != len(full) {
+			t.Fatalf("target %d: shards cover %d points, want %d", target, next, len(full))
+		}
+		// Per-design (and per-lane) rounding can overshoot the target by
+		// at most one chunk per design x lane.
+		if target >= 1 && len(shards) > target+len(designs)*len(req.Lanes)-1 {
+			t.Fatalf("target %d produced %d shards", target, len(shards))
+		}
+	}
+}
+
+// TestPlanSweepValidation: the planner rejects exactly what a worker's
+// /v1/sweep rejects, with the same messages, before any fan-out.
+func TestPlanSweepValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  api.SweepRequest
+		want string
+	}{
+		{"no networks", api.SweepRequest{Lanes: []int{2}, Bits: []int{4}}, "networks must be non-empty"},
+		{"no axes", api.SweepRequest{Networks: []string{"lenet"}}, "lanes and bits axes must be non-empty"},
+		{"bad design", api.SweepRequest{Networks: []string{"lenet"}, Designs: []string{"ZZ"}, Lanes: []int{2}, Bits: []int{4}}, "unknown design"},
+	}
+	for _, tc := range cases {
+		_, _, err := planSweep(tc.req, 4)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPlanRobustness: σ chunks are contiguous axis slices; degenerate
+// axes pass through whole.
+func TestPlanRobustness(t *testing.T) {
+	req := api.RobustnessRequest{
+		Network: "lenet", Design: "OO",
+		Sigmas: []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07},
+		Trials: 8,
+	}
+	for _, target := range []int{1, 2, 3, 7, 10} {
+		shards, err := planRobustness(req, DefaultMaxTrials, target)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		wantShards := target
+		if wantShards > len(req.Sigmas) {
+			wantShards = len(req.Sigmas)
+		}
+		if len(shards) != wantShards {
+			t.Fatalf("target %d: %d shards, want %d", target, len(shards), wantShards)
+		}
+		lo := 0
+		for _, sh := range shards {
+			if sh.Lo != lo {
+				t.Fatalf("target %d: shard Lo = %d, want %d", target, sh.Lo, lo)
+			}
+			for j, s := range sh.Req.Sigmas {
+				if s != req.Sigmas[lo+j] {
+					t.Fatalf("target %d: shard sigma %d = %v, want %v", target, lo+j, s, req.Sigmas[lo+j])
+				}
+			}
+			lo += len(sh.Req.Sigmas)
+		}
+		if lo != len(req.Sigmas) {
+			t.Fatalf("target %d: shards cover %d sigmas, want %d", target, lo, len(req.Sigmas))
+		}
+	}
+
+	if _, err := planRobustness(api.RobustnessRequest{Network: "lenet", Design: "OO", Trials: 9999}, 4096, 2); err == nil || !strings.Contains(err.Error(), "trial limit") {
+		t.Errorf("trials over cap: err = %v", err)
+	}
+	if shards, err := planRobustness(api.RobustnessRequest{Network: "lenet", Design: "OO", Trials: 4}, 4096, 3); err != nil || len(shards) != 1 {
+		t.Errorf("empty sigma axis: shards = %v, err = %v, want single passthrough", shards, err)
+	}
+}
+
+// TestMergeRobustnessProtection: the merged report takes the global max
+// retry factor (earliest shard on ties) together with that shard's
+// overheads, and refuses baseline disagreement.
+func TestMergeRobustnessProtection(t *testing.T) {
+	shards := []robustShard{{Lo: 0}, {Lo: 1}, {Lo: 2}}
+	mk := func(retry, overhead float64) api.RobustnessResponse {
+		return api.RobustnessResponse{
+			Baseline: []int64{42},
+			Points:   []pixel.YieldPoint{{}},
+			Protection: &pixel.ProtectionReport{
+				Points:          []pixel.ProtectedPoint{{}},
+				MaxRetryFactor:  retry,
+				EnergyOverhead:  overhead,
+				LatencyOverhead: overhead,
+				AreaOverhead:    overhead,
+			},
+		}
+	}
+	out, err := mergeRobustness(shards, []api.RobustnessResponse{mk(1.5, 10), mk(2.5, 20), mk(2.5, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Protection.MaxRetryFactor != 2.5 || out.Protection.EnergyOverhead != 20 {
+		t.Fatalf("merged protection = %+v, want retry 2.5 with shard-1 overheads", out.Protection)
+	}
+	if len(out.Points) != 3 || len(out.Protection.Points) != 3 {
+		t.Fatalf("merged %d points / %d protected, want 3 / 3", len(out.Points), len(out.Protection.Points))
+	}
+
+	bad := []api.RobustnessResponse{mk(1, 1), mk(1, 1), mk(1, 1)}
+	bad[2].Baseline = []int64{7}
+	if _, err := mergeRobustness(shards, bad); err == nil || !strings.Contains(err.Error(), "baseline disagrees") {
+		t.Fatalf("baseline mismatch: err = %v", err)
+	}
+}
+
+// TestRingStability: every key lists every worker exactly once, and
+// dropping the last worker only remaps keys that worker owned.
+func TestRingStability(t *testing.T) {
+	names := []string{"w0:1", "w1:1", "w2:1"}
+	r3 := newRing(names)
+	r2 := newRing(names[:2])
+	keys := make([]string, 0, 500)
+	for i := 0; i < 500; i++ {
+		keys = append(keys, strings.Repeat("k", 1+i%7)+string(rune('a'+i%26))+strconv.Itoa(i))
+	}
+	moved := 0
+	for _, k := range keys {
+		seq := r3.sequence(k)
+		if len(seq) != 3 {
+			t.Fatalf("sequence(%q) = %v, want all 3 workers", k, seq)
+		}
+		seen := map[int]bool{}
+		for _, wi := range seq {
+			if seen[wi] {
+				t.Fatalf("sequence(%q) = %v repeats a worker", k, seq)
+			}
+			seen[wi] = true
+		}
+		if r3.owner(k) == 2 {
+			moved++
+			continue
+		}
+		if r2.owner(k) != r3.owner(k) {
+			t.Fatalf("key %q moved from %d to %d though worker 2 owned it in neither", k, r3.owner(k), r2.owner(k))
+		}
+	}
+	if moved == 0 || moved == len(keys) {
+		t.Fatalf("worker 2 owned %d/%d keys; want a proper share", moved, len(keys))
+	}
+}

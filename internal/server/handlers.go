@@ -49,6 +49,7 @@ var errorTable = []struct {
 }{
 	{errShed, http.StatusTooManyRequests, "overloaded"},
 	{jobs.ErrRegistryFull, http.StatusTooManyRequests, "overloaded"},
+	{jobs.ErrBadLastEventID, http.StatusBadRequest, "bad_request"},
 	{pixel.ErrUnknownNetwork, http.StatusNotFound, "unknown_network"},
 	{pixel.ErrUnknownDesign, http.StatusBadRequest, "unknown_design"},
 	{pixel.ErrBadPrecision, http.StatusBadRequest, "bad_precision"},
@@ -109,6 +110,14 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// A draining server answers 503 "draining" so load balancers and
+	// the fleet coordinator stop routing to it while its in-flight
+	// requests finish; the body still carries the status word for
+	// probers that want to tell "shutting down" from "gone".
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, api.HealthResponse{Status: "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
 }
 

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
@@ -175,7 +174,7 @@ func (s *Server) buildJobTask(kind string, spec json.RawMessage) (jobs.Task, err
 		if err != nil {
 			return nil, err
 		}
-		return &sweepTask{job: job, points: len(points)}, nil
+		return &sweepTask{job: job, points: len(points), cells: map[sweepCellKey]api.JobCell{}}, nil
 
 	default:
 		return nil, badRequestf("unknown job kind %q (have %q, %q)", kind, api.JobKindRobustness, api.JobKindSweep)
@@ -231,15 +230,44 @@ func (t *robustnessTask) Run(ctx context.Context, emit func(string, any)) (any, 
 	return rep, nil
 }
 
-// sweepTask adapts a pixel.SweepJob to jobs.Task.
+// sweepTask adapts a pixel.SweepJob to jobs.Task: progress events at a
+// bounded stride, priced grid cells as the poll-time partial result.
+// Cells deliberately have no SSE event — a sweep can have tens of
+// thousands, which would swamp the replayable event log.
 type sweepTask struct {
 	job    *pixel.SweepJob
 	points int
+
+	mu    sync.Mutex
+	cells map[sweepCellKey]api.JobCell
+}
+
+type sweepCellKey struct {
+	network string
+	index   int
 }
 
 func (t *sweepTask) Snapshot() ([]byte, error) { return t.job.Snapshot() }
 func (t *sweepTask) Restore(b []byte) error    { return t.job.Restore(b) }
 func (t *sweepTask) Progress() (int, int)      { return t.job.Progress() }
+
+// Partial returns the grid cells priced so far, sorted by network then
+// index.
+func (t *sweepTask) Partial() any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]api.JobCell, 0, len(t.cells))
+	for _, c := range t.cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Network != out[j].Network {
+			return out[i].Network < out[j].Network
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
 
 func (t *sweepTask) Run(ctx context.Context, emit func(string, any)) (any, error) {
 	_, total := t.job.Progress()
@@ -249,6 +277,12 @@ func (t *sweepTask) Run(ctx context.Context, emit func(string, any)) (any, error
 			if done%stride == 0 || done == total {
 				emit(api.JobEventProgress, api.JobProgress{Done: done, Total: total})
 			}
+		},
+		Cell: func(network string, index int, r pixel.Result) {
+			c := api.JobCell{Network: network, Index: index, Result: api.FromResult(r, false)}
+			t.mu.Lock()
+			t.cells[sweepCellKey{network, index}] = c
+			t.mu.Unlock()
 		},
 	})
 	if err != nil {
@@ -372,11 +406,10 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleJobEvents streams the job's event log as server-sent events.
-// Events are replayed from Last-Event-ID (every event since process
-// start is retained, and seqs stay monotone across restarts), comment
-// heartbeats keep idle connections alive, and the stream closes after
-// the terminal event.
+// handleJobEvents streams the job's event log as server-sent events
+// via jobs.StreamEvents (shared with the fleet coordinator): replay
+// from Last-Event-ID, comment heartbeats, stream closes after the
+// terminal event.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	if s.jobsDisabled(w) {
 		return
@@ -385,57 +418,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		s.writeError(w, fmt.Errorf("response writer cannot stream"))
-		return
-	}
-	last := int64(-1)
-	if v := r.Header.Get("Last-Event-ID"); v != "" {
-		seq, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			s.writeError(w, badRequestf("bad Last-Event-ID %q", v))
-			return
-		}
-		last = seq
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
-
-	heartbeat := time.NewTicker(s.heartbeat)
-	defer heartbeat.Stop()
-	for {
-		ch := j.Events.Changed()
-		for _, e := range j.Events.After(last) {
-			fmt.Fprintf(w, "id: %d\nevent: %s\n", e.Seq, e.Type)
-			if len(e.Data) > 0 {
-				fmt.Fprintf(w, "data: %s\n", e.Data)
-			}
-			fmt.Fprint(w, "\n")
-			last = e.Seq
-			if e.Terminal() {
-				flusher.Flush()
-				return
-			}
-		}
-		// A job recovered in a terminal state has no terminal event in
-		// its post-restart log; synthesize one so streams still end.
-		if st := s.registry.Snapshot(j); st.State.Terminal() && j.Events.NextSeq() == last+1 {
-			data, _ := json.Marshal(api.JobProgress{Done: st.Done, Total: st.Total, Error: st.Error})
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", j.Events.NextSeq(), st.State, data)
-			flusher.Flush()
-			return
-		}
-		flusher.Flush()
-		select {
-		case <-ch:
-		case <-heartbeat.C:
-			fmt.Fprint(w, ": heartbeat\n\n")
-			flusher.Flush()
-		case <-r.Context().Done():
-			return
-		}
+	err := s.registry.StreamEvents(w, r, j, s.heartbeat, func(st jobs.JobStatus) any {
+		return api.JobProgress{Done: st.Done, Total: st.Total, Error: st.Error}
+	})
+	if err != nil {
+		s.writeError(w, err)
 	}
 }

@@ -400,3 +400,58 @@ func TestJobValidation(t *testing.T) {
 		t.Errorf("unknown job id: %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestSweepJobPartialCells: the sweep task records every priced grid
+// cell and reports them sorted (network, then index) with rows equal
+// to the final SweepResponse — the /v1/jobs/{id} partial for sweeps.
+func TestSweepJobPartialCells(t *testing.T) {
+	srv := New(Config{
+		Engine: &stubEngine{},
+		Logger: discardLogger(),
+		Jobs:   &JobsConfig{},
+	})
+	defer srv.Close()
+
+	spec, err := json.Marshal(api.SweepRequest{
+		Networks: []string{"LeNet", "AlexNet"},
+		Designs:  []string{"OO"},
+		Lanes:    []int{2, 4},
+		Bits:     []int{4, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := srv.buildJobTask(api.JobKindSweep, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := task.(*sweepTask)
+	if !ok {
+		t.Fatalf("sweep task is %T", task)
+	}
+	res, err := st.Run(context.Background(), func(string, any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := res.(api.SweepResponse)
+
+	cells, ok := st.Partial().([]api.JobCell)
+	if !ok {
+		t.Fatalf("Partial() is %T, want []api.JobCell", st.Partial())
+	}
+	if want := 2 * resp.Points; len(cells) != want {
+		t.Fatalf("partial holds %d cells, want %d", len(cells), want)
+	}
+	for k, c := range cells {
+		if k > 0 {
+			prev := cells[k-1]
+			if prev.Network > c.Network || (prev.Network == c.Network && prev.Index >= c.Index) {
+				t.Fatalf("cells unsorted at %d: %s/%d after %s/%d", k, c.Network, c.Index, prev.Network, prev.Index)
+			}
+		}
+		want := resp.Results[c.Network][c.Index]
+		if !reflect.DeepEqual(c.Result, want) {
+			t.Fatalf("cell %s/%d differs from final row:\ngot  %+v\nwant %+v", c.Network, c.Index, c.Result, want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"pixel"
@@ -130,6 +131,10 @@ type Server struct {
 
 	registry  *jobs.Registry
 	heartbeat time.Duration
+
+	// draining flips once Serve begins its graceful shutdown; /healthz
+	// then answers 503 "draining" so routers stop sending new work.
+	draining atomic.Bool
 }
 
 // New builds a Server from cfg, applying defaults to unset knobs.
@@ -223,6 +228,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
+		s.draining.Store(true)
 		s.logger.Info("shutting down", "drain", drain)
 		dctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()

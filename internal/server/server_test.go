@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"pixel"
+	"pixel/api"
 )
 
 func discardLogger() *slog.Logger {
@@ -456,5 +458,33 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Error("listener still accepting after shutdown")
+	}
+	if !srv.draining.Load() {
+		t.Error("Serve shut down without flipping the draining flag")
+	}
+}
+
+// TestHealthzDraining: a draining server answers /healthz with 503 and
+// status "draining" — the signal load balancers and the fleet
+// coordinator use to stop routing to a worker that is shutting down.
+func TestHealthzDraining(t *testing.T) {
+	srv := New(Config{Engine: &stubEngine{}, Logger: discardLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := api.NewClient(ts.URL, nil)
+
+	h, err := c.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("Health before drain = %+v, %v; want ok", h, err)
+	}
+
+	srv.draining.Store(true)
+	h, err = c.Health(context.Background())
+	if err != nil || h.Status != "draining" {
+		t.Fatalf("Health during drain = %+v, %v; want draining", h, err)
+	}
+	var he *api.HTTPError
+	if err := c.Healthz(context.Background()); !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("Healthz during drain = %v, want 503 HTTPError", err)
 	}
 }

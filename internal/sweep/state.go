@@ -84,6 +84,26 @@ func (st *State) set(i int, c arch.NetworkCost) int {
 	return st.completed
 }
 
+// eachDone calls fn for every completed slot, in slot order. The costs
+// are copied out under the lock first, so fn runs without holding it.
+func (st *State) eachDone(fn func(i int, c arch.NetworkCost)) {
+	st.mu.Lock()
+	type cell struct {
+		i int
+		c arch.NetworkCost
+	}
+	cells := make([]cell, 0, st.completed)
+	for i, d := range st.done {
+		if d {
+			cells = append(cells, cell{i, st.results[i]})
+		}
+	}
+	st.mu.Unlock()
+	for _, cl := range cells {
+		fn(cl.i, cl.c)
+	}
+}
+
 // costs returns the filled result slice; callers must only use it once
 // every slot is done.
 func (st *State) costs() []arch.NetworkCost {

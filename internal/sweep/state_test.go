@@ -6,6 +6,8 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+
+	"pixel/internal/arch"
 )
 
 // interruptSweep runs jobs on a fresh engine until about k points have
@@ -141,4 +143,68 @@ func TestSweepRestoreRejectsForeignSnapshot(t *testing.T) {
 	if err := NewState(jobs).Restore(snap[:len(snap)/2]); err == nil {
 		t.Fatal("truncated snapshot restored without error")
 	}
+}
+
+// TestRunOnJobHook: every slot fires OnJob exactly once with the cost
+// the final slice carries, and a resumed run announces restored slots
+// up front in slot order before pricing the remainder.
+func TestRunOnJobHook(t *testing.T) {
+	jobs := jobsFor("LeNet", grid4x4())
+
+	t.Run("fresh", func(t *testing.T) {
+		e := New(Options{Workers: 4})
+		seen := make(map[int]arch.NetworkCost)
+		costs, err := e.Run(context.Background(), jobs, RunOptions{
+			OnJob: func(i int, c arch.NetworkCost) {
+				if _, dup := seen[i]; dup {
+					t.Errorf("slot %d announced twice", i)
+				}
+				seen[i] = c
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(jobs) {
+			t.Fatalf("OnJob fired for %d slots, want %d", len(seen), len(jobs))
+		}
+		for i, c := range costs {
+			if !reflect.DeepEqual(seen[i], c) {
+				t.Fatalf("slot %d: hook cost differs from result slice", i)
+			}
+		}
+	})
+
+	t.Run("resumed", func(t *testing.T) {
+		snap := interruptSweep(t, jobs, 5, 2)
+		st := NewState(jobs)
+		if err := st.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		restored, _ := st.Progress()
+		var order []int
+		seen := make(map[int]bool)
+		e := New(Options{Workers: 2})
+		if _, err := e.RunState(context.Background(), jobs, st, RunOptions{
+			OnJob: func(i int, c arch.NetworkCost) {
+				if seen[i] {
+					t.Errorf("slot %d announced twice", i)
+				}
+				seen[i] = true
+				order = append(order, i)
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(jobs) {
+			t.Fatalf("OnJob fired for %d slots, want %d", len(seen), len(jobs))
+		}
+		// The first `restored` announcements are the snapshot's slots in
+		// ascending order, before any fresh pricing lands.
+		for k := 1; k < restored; k++ {
+			if order[k-1] >= order[k] {
+				t.Fatalf("restored slots announced out of order: %v (first %d should ascend)", order, restored)
+			}
+		}
+	})
 }

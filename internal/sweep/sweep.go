@@ -71,6 +71,13 @@ type RunOptions struct {
 	// Progress, when non-nil, is called after each job completes with
 	// the completed and total counts. Calls are serialized.
 	Progress func(done, total int)
+	// OnJob, when non-nil, is called once per job as soon as its cost
+	// is known, with the job's slot index. Calls are serialized with
+	// each other and with Progress but arrive out of slot order in
+	// general; jobs restored from a checkpoint are announced up front,
+	// in slot order, before any fresh evaluation. Keep the callback
+	// fast — it blocks the pool's completion path.
+	OnJob func(i int, c arch.NetworkCost)
 }
 
 // Engine evaluates jobs through a worker pool with memoization. The
@@ -257,8 +264,13 @@ func (e *Engine) RunState(ctx context.Context, jobs []Job, st *State, opts RunOp
 	var next atomic.Int64
 	next.Store(-1)
 	var progressMu sync.Mutex
-	if done, _ := st.Progress(); done > 0 && opts.Progress != nil {
-		opts.Progress(done, len(jobs))
+	if done, _ := st.Progress(); done > 0 {
+		if opts.OnJob != nil {
+			st.eachDone(opts.OnJob)
+		}
+		if opts.Progress != nil {
+			opts.Progress(done, len(jobs))
+		}
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -280,9 +292,14 @@ func (e *Engine) RunState(ctx context.Context, jobs []Job, st *State, opts RunOp
 					return
 				}
 				completed := st.set(i, c)
-				if opts.Progress != nil {
+				if opts.Progress != nil || opts.OnJob != nil {
 					progressMu.Lock()
-					opts.Progress(completed, len(jobs))
+					if opts.OnJob != nil {
+						opts.OnJob(i, c)
+					}
+					if opts.Progress != nil {
+						opts.Progress(completed, len(jobs))
+					}
 					progressMu.Unlock()
 				}
 			}

@@ -197,7 +197,16 @@ func (j *SweepJob) Restore(payload []byte) error { return j.state.Restore(payloa
 // Run executes (or finishes) the sweep. opts may be nil. On
 // cancellation the priced cells stay in the job, ready to Snapshot.
 func (j *SweepJob) Run(ctx context.Context, opts *SweepOptions) (map[string][]Result, error) {
-	costs, err := j.engine.eng.RunState(ctx, j.jobs, j.state, opts.runOptions())
+	ro := opts.runOptions()
+	if opts != nil && opts.Cell != nil {
+		cell := opts.Cell
+		ro.OnJob = func(i int, c arch.NetworkCost) {
+			name := j.networks[i/len(j.points)]
+			pi := i % len(j.points)
+			cell(name, pi, resultFromCost(name, j.points[pi], c))
+		}
+	}
+	costs, err := j.engine.eng.RunState(ctx, j.jobs, j.state, ro)
 	if err != nil {
 		return nil, err
 	}

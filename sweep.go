@@ -26,6 +26,13 @@ type SweepOptions struct {
 	// with the completed and total counts. Calls are serialized; keep
 	// the callback fast.
 	Progress func(done, total int)
+	// Cell, when non-nil, is called once per (network, point) grid
+	// cell as soon as it is priced, with the point's index on the
+	// request grid and the cell's Result. Calls are serialized with
+	// each other and with Progress but arrive out of grid order in
+	// general; cells restored from a checkpoint are announced up
+	// front, in grid order. Keep the callback fast.
+	Cell func(network string, index int, r Result)
 }
 
 func (o *SweepOptions) runOptions() sweepeng.RunOptions {
