@@ -67,8 +67,8 @@ type ClientOption func(*Client)
 // retryable statuses (429 with its Retry-After hint honored, and 503)
 // with exponential backoff, bounded by the policy's attempt budget and
 // the request context. Non-retryable statuses (400, 404, 500, ...)
-// fail immediately. JobEvents streams are not retried — reconnect with
-// LastSeq instead.
+// fail immediately. JobEvents streams have their own reconnect loop
+// (see EventStream.Next) and ignore this policy.
 func WithRetry(p RetryPolicy) ClientOption {
 	if p.MaxAttempts <= 0 {
 		p.MaxAttempts = DefaultRetryAttempts

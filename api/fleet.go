@@ -1,0 +1,55 @@
+package api
+
+import (
+	"context"
+	"net/http"
+)
+
+// FleetWorkerRequest is the body of POST and DELETE
+// /v1/fleet/workers: the worker pixeld address to admit or retire
+// ("host:port" or a full base URL, exactly as the coordinator's
+// -coordinator list spells them). The address rides in the body, not
+// the path — worker addresses are URLs.
+type FleetWorkerRequest struct {
+	Addr string `json:"addr"`
+}
+
+// FleetWorker is one fleet member in GET /v1/fleet/workers: its
+// configured address, whether the health prober currently trusts it,
+// and its circuit-breaker state ("closed", "open" or "half-open").
+type FleetWorker struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"`
+}
+
+// FleetWorkersResponse is the roster returned by GET /v1/fleet/workers
+// and echoed (updated) by the POST and DELETE membership calls.
+type FleetWorkersResponse struct {
+	Workers []FleetWorker `json:"workers"`
+}
+
+// FleetWorkers lists the coordinator's current members with health and
+// breaker state. Coordinator-only: a worker pixeld has no fleet.
+func (c *Client) FleetWorkers(ctx context.Context) (FleetWorkersResponse, error) {
+	var out FleetWorkersResponse
+	err := c.do(ctx, http.MethodGet, "/v1/fleet/workers", nil, &out)
+	return out, err
+}
+
+// AddFleetWorker admits a worker into the coordinator's ring at
+// runtime and returns the updated roster.
+func (c *Client) AddFleetWorker(ctx context.Context, addr string) (FleetWorkersResponse, error) {
+	var out FleetWorkersResponse
+	err := c.do(ctx, http.MethodPost, "/v1/fleet/workers", FleetWorkerRequest{Addr: addr}, &out)
+	return out, err
+}
+
+// RemoveFleetWorker retires a worker from the coordinator's ring
+// (in-flight shards finish; new shards route to its successors) and
+// returns the updated roster.
+func (c *Client) RemoveFleetWorker(ctx context.Context, addr string) (FleetWorkersResponse, error) {
+	var out FleetWorkersResponse
+	err := c.do(ctx, http.MethodDelete, "/v1/fleet/workers", FleetWorkerRequest{Addr: addr}, &out)
+	return out, err
+}

@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"pixel"
 )
@@ -156,6 +157,12 @@ func (c *Client) DeleteJob(ctx context.Context, id string) error {
 // server replays everything newer, so a client that reconnects with
 // its last seq misses nothing. Iterate with Next until a Terminal
 // event or error; Close the stream when done.
+//
+// A stream cut before a terminal event reconnects transparently: Next
+// re-opens the stream with the last delivered seq (bounded attempts,
+// short exponential backoff, honoring ctx) and the server's replay
+// makes the resumed stream gap-free. Only when the attempts are
+// exhausted does Next surface the original stream error.
 func (c *Client) JobEvents(ctx context.Context, id string, lastSeq int64) (*EventStream, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
@@ -184,8 +191,21 @@ func (c *Client) JobEvents(ctx context.Context, id string, lastSeq int64) (*Even
 		}
 		return nil, he
 	}
-	return &EventStream{body: resp.Body, sc: bufio.NewScanner(resp.Body), lastSeq: -1}, nil
+	return &EventStream{
+		body: resp.Body, sc: bufio.NewScanner(resp.Body), lastSeq: -1,
+		c: c, ctx: ctx, id: id, resume: lastSeq,
+	}, nil
 }
+
+// Stream-reconnect budget: how many times one silent gap may re-open
+// the stream before Next gives up, and the backoff bounds between
+// attempts. The counter resets whenever an event is delivered.
+const maxStreamReconnects = 5
+
+const (
+	streamReconnectBase = 50 * time.Millisecond
+	streamReconnectMax  = 1 * time.Second
+)
 
 // EventStream iterates a text/event-stream response. It is not safe
 // for concurrent use.
@@ -193,6 +213,16 @@ type EventStream struct {
 	body    io.Closer
 	sc      *bufio.Scanner
 	lastSeq int64
+
+	// Reconnect state: the owning client, the open context and job id
+	// to re-dial with, the seq to resume from (the open's lastSeq until
+	// an event is delivered), and the per-gap attempt counter.
+	c           *Client
+	ctx         context.Context
+	id          string
+	resume      int64
+	reconnects  int
+	sawTerminal bool
 }
 
 // LastSeq returns the seq of the last event Next delivered (-1 before
@@ -203,10 +233,63 @@ func (s *EventStream) LastSeq() int64 { return s.lastSeq }
 func (s *EventStream) Close() error { return s.body.Close() }
 
 // Next blocks for the next event. Heartbeat comments are skipped
-// transparently. It returns io.EOF when the server closes the stream
-// (after a Terminal event, or on shutdown — reconnect with LastSeq to
-// resume).
+// transparently. A stream cut before a terminal event is re-opened in
+// place with the last delivered seq (see JobEvents); Next returns
+// io.EOF only when the server ends the stream after a Terminal event,
+// and the underlying error once the reconnect budget is spent.
 func (s *EventStream) Next() (JobEvent, error) {
+	for {
+		ev, err := s.scanNext()
+		if err == nil {
+			s.reconnects = 0
+			if ev.Seq >= 0 {
+				s.resume = ev.Seq
+			}
+			if ev.Terminal() {
+				s.sawTerminal = true
+			}
+			return ev, nil
+		}
+		if s.sawTerminal || s.c == nil || s.ctx == nil || s.ctx.Err() != nil {
+			return JobEvent{}, err
+		}
+		if !s.reconnect() {
+			return JobEvent{}, err
+		}
+	}
+}
+
+// reconnect re-opens the stream resuming after the last delivered
+// event, with exponential backoff between attempts. It reports whether
+// a fresh stream was adopted; the per-gap attempt counter persists
+// across calls so a dead server cannot be redialed forever.
+func (s *EventStream) reconnect() bool {
+	for s.reconnects < maxStreamReconnects {
+		s.reconnects++
+		d := streamReconnectBase << (s.reconnects - 1)
+		if d > streamReconnectMax {
+			d = streamReconnectMax
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-s.ctx.Done():
+			t.Stop()
+			return false
+		}
+		ns, err := s.c.JobEvents(s.ctx, s.id, s.resume)
+		if err != nil {
+			continue
+		}
+		s.body.Close()
+		s.body, s.sc = ns.body, ns.sc
+		return true
+	}
+	return false
+}
+
+// scanNext parses the next event block off the current connection.
+func (s *EventStream) scanNext() (JobEvent, error) {
 	ev := JobEvent{Seq: -1}
 	var data strings.Builder
 	for s.sc.Scan() {

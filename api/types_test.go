@@ -92,6 +92,13 @@ func wireSamples() map[string]any {
 			Seq: 7, Type: JobEventProgress,
 			Data: json.RawMessage(`{"done":48,"total":96}`),
 		},
+		"fleet_worker_request": FleetWorkerRequest{Addr: "http://127.0.0.1:9101"},
+		"fleet_worker": FleetWorker{
+			Addr: "http://127.0.0.1:9101", Healthy: true, Breaker: "half-open",
+		},
+		"fleet_workers_response": FleetWorkersResponse{
+			Workers: []FleetWorker{{Addr: "http://127.0.0.1:9101", Healthy: true, Breaker: "closed"}},
+		},
 		"networks_response": NetworksResponse{Networks: []string{"lenet"}},
 		"designs_response":  DesignsResponse{Designs: []string{"EE", "OE", "OO"}},
 		"health_response":   HealthResponse{Status: "ok"},

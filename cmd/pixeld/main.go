@@ -22,7 +22,11 @@
 // With -coordinator pixeld runs as a fleet coordinator instead of a
 // worker: it serves the same /v1 surface but fans sweeps and
 // robustness runs out across the named worker pixelds, merging shard
-// responses byte-identically to a single node (see docs/FLEET.md).
+// responses byte-identically to a single node. The worker set can
+// change at runtime (POST/DELETE /v1/fleet/workers), a worker death
+// mid-job costs only its unfinished cells/σ-points (partial-result
+// salvage), and -jobs-dir makes coordinator jobs durable across
+// coordinator restarts (see docs/FLEET.md).
 //
 // Usage:
 //
@@ -88,7 +92,7 @@ func run(args []string, stdout *os.File) error {
 	}
 
 	if *coordinator != "" {
-		return runCoordinator(*coordinator, *addr, *requestTimeout, *maxTrials, *maxJobs, *maxRunningJobs, *jobTTL, *drain, stdout)
+		return runCoordinator(*coordinator, *addr, *requestTimeout, *maxTrials, *maxJobs, *maxRunningJobs, *jobTTL, *jobsDir, *drain, stdout)
 	}
 
 	var mgr *jobs.Manager
@@ -158,8 +162,10 @@ func run(args []string, stdout *os.File) error {
 
 // runCoordinator is the -coordinator mode: same listener contract and
 // shutdown behavior as a worker, but requests fan out to the named
-// workers instead of evaluating locally.
-func runCoordinator(workerList, addr string, requestTimeout time.Duration, maxTrials, maxJobs, maxRunningJobs int, jobTTL, drain time.Duration, stdout *os.File) error {
+// workers instead of evaluating locally. -jobs-dir applies here too:
+// coordinator jobs checkpoint their shard harvest and a restarted
+// coordinator re-adopts them, re-dispatching only unfinished work.
+func runCoordinator(workerList, addr string, requestTimeout time.Duration, maxTrials, maxJobs, maxRunningJobs int, jobTTL time.Duration, jobsDir string, drain time.Duration, stdout *os.File) error {
 	var workers []string
 	for _, w := range strings.Split(workerList, ",") {
 		if w = strings.TrimSpace(w); w != "" {
@@ -174,6 +180,7 @@ func runCoordinator(workerList, addr string, requestTimeout time.Duration, maxTr
 		MaxJobs:        maxJobs,
 		MaxRunningJobs: maxRunningJobs,
 		JobTTL:         jobTTL,
+		JobsDir:        jobsDir,
 		Logger:         logger,
 	})
 	if err != nil {

@@ -36,10 +36,14 @@ type Options struct {
 	// mirroring the worker-side cap.
 	MaxTrials int
 	// MaxJobs, MaxRunningJobs and JobTTL configure the coordinator's
-	// in-memory job registry, like the worker flags of the same names.
+	// job registry, like the worker flags of the same names.
 	MaxJobs        int
 	MaxRunningJobs int
 	JobTTL         time.Duration
+	// JobsDir makes coordinator jobs durable: their shard harvest
+	// checkpoints there, and a restarted coordinator re-adopts them and
+	// re-dispatches only unfinished work. Empty keeps jobs in memory.
+	JobsDir string
 	// Logger receives structured logs; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -61,6 +65,7 @@ func New(opts Options) (*Fleet, error) {
 		MaxJobs:         opts.MaxJobs,
 		MaxRunningJobs:  opts.MaxRunningJobs,
 		JobTTL:          opts.JobTTL,
+		JobsDir:         opts.JobsDir,
 		Logger:          opts.Logger,
 	})
 	if err != nil {
@@ -97,6 +102,18 @@ func (f *Fleet) Map(ctx context.Context, req api.MapRequest) (api.MapResponse, e
 func (f *Fleet) Infer(ctx context.Context, req api.InferRequest) (api.InferResponse, error) {
 	return f.c.Infer(ctx, req)
 }
+
+// Workers snapshots the fleet roster with each member's health and
+// circuit-breaker state.
+func (f *Fleet) Workers() []api.FleetWorker { return f.c.Workers() }
+
+// AddWorker admits a worker into the fleet at runtime, rebuilding the
+// consistent-hash ring without disturbing in-flight shards.
+func (f *Fleet) AddWorker(addr string) error { return f.c.AddWorker(addr) }
+
+// RemoveWorker retires a worker from the fleet; its keys move to ring
+// successors for everything planned afterwards.
+func (f *Fleet) RemoveWorker(addr string) error { return f.c.RemoveWorker(addr) }
 
 // Handler returns the coordinator's HTTP routing tree — the same /v1
 // surface as a worker pixeld.

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker states. Closed admits every call; open admits none until the
+// cooldown elapses; half-open admits exactly one probe call whose
+// outcome decides between closing and re-opening.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-worker circuit breaker sitting in front of the
+// retry/backoff path: a worker that fails threshold consecutive shard
+// calls is skipped by the candidate scan until its cooldown elapses, so
+// a flapping worker cannot absorb every arm's attempt budget with
+// backoff sleeps. Only worker-attributable failures count (transport
+// errors, 5xx, 429) — a cancelled hedge loser or a caller's bad request
+// says nothing about the worker.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int
+	fails    int  // consecutive worker-attributable failures
+	probing  bool // a half-open probe call is in flight
+	openedAt time.Time
+}
+
+// allow reports whether a call may proceed now. In the open state the
+// first allow after the cooldown transitions to half-open and claims
+// the single probe slot; callers that are refused should try the next
+// candidate instead of sleeping on this one.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess closes the breaker: any successful call proves the worker
+// serves again.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// onFailure records a worker-attributable failure and reports whether
+// this call opened the breaker (a closed->open or half-open->open
+// transition, for the metrics counter). A failed half-open probe
+// re-opens immediately and restarts the cooldown.
+func (b *breaker) onFailure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	}
+	if b.state == breakerOpen {
+		// A last-resort call through an open breaker failed again: keep
+		// it open and restart the cooldown.
+		b.openedAt = now
+	}
+	return false
+}
+
+// status renders the state for /v1/fleet/workers and logs.
+func (b *breaker) status() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// isOpen reports whether the breaker currently refuses calls (the
+// /metrics gauge; half-open counts as open until its probe settles).
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}

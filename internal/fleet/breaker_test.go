@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the closed → open → half-open → open →
+// half-open → closed cycle with synthetic clocks.
+func TestBreakerStateMachine(t *testing.T) {
+	b := breaker{threshold: 2, cooldown: time.Minute}
+	now := time.Unix(1000, 0)
+
+	if !b.allow(now) || b.status() != "closed" || b.isOpen() {
+		t.Fatal("fresh breaker must be closed and admitting")
+	}
+	if opened := b.onFailure(now); opened {
+		t.Fatal("one failure below the threshold must not open")
+	}
+	if opened := b.onFailure(now); !opened {
+		t.Fatal("reaching the threshold must report the open transition")
+	}
+	if b.status() != "open" || !b.isOpen() {
+		t.Fatalf("status after threshold = %q, want open", b.status())
+	}
+	if b.allow(now.Add(30 * time.Second)) {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+	if !b.allow(now.Add(61 * time.Second)) {
+		t.Fatal("cooldown elapsed but the half-open probe was refused")
+	}
+	if b.status() != "half-open" {
+		t.Fatalf("status after probe admit = %q, want half-open", b.status())
+	}
+	if b.allow(now.Add(61 * time.Second)) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	probeFail := now.Add(62 * time.Second)
+	if opened := b.onFailure(probeFail); !opened {
+		t.Fatal("failed half-open probe must report re-opening")
+	}
+	if b.allow(probeFail.Add(30 * time.Second)) {
+		t.Fatal("re-opened breaker admitted a call inside the restarted cooldown")
+	}
+	if !b.allow(probeFail.Add(61 * time.Second)) {
+		t.Fatal("restarted cooldown elapsed but the probe was refused")
+	}
+	b.onSuccess()
+	if b.status() != "closed" || !b.allow(probeFail.Add(62*time.Second)) {
+		t.Fatalf("successful probe must close the breaker (status %q)", b.status())
+	}
+}
+
+// TestBreakerOpenFailureRestartsCooldown: a last-resort call through an
+// open breaker that fails again pushes the half-open probe out.
+func TestBreakerOpenFailureRestartsCooldown(t *testing.T) {
+	b := breaker{threshold: 1, cooldown: time.Minute}
+	now := time.Unix(2000, 0)
+	if opened := b.onFailure(now); !opened {
+		t.Fatal("threshold 1 must open on the first failure")
+	}
+	b.onFailure(now.Add(30 * time.Second)) // fallback call failed again
+	if b.allow(now.Add(61 * time.Second)) {
+		t.Fatal("cooldown was not restarted by the open-state failure")
+	}
+	if !b.allow(now.Add(91 * time.Second)) {
+		t.Fatal("restarted cooldown never elapsed")
+	}
+}
+
+// TestBreakerOpensAndRoutesAround pairs a worker that 500s every API
+// call with a healthy one: sweeps stay byte-identical because arms
+// fail over, the bad worker's breaker opens after the threshold, and
+// later shards skip it without burning attempts.
+func TestBreakerOpensAndRoutesAround(t *testing.T) {
+	good := startWorkers(t, 1)
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/healthz" {
+			io.WriteString(w, `{"status":"ok"}`+"\n")
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":{"code":"internal","message":"broken worker"}}`+"\n")
+	}))
+	defer bad.Close()
+
+	req := sweep48()
+	status, want := postJSON(t, good[0]+"/v1/sweep", req)
+	if status != http.StatusOK {
+		t.Fatalf("single node: status %d: %s", status, want)
+	}
+
+	c := newTestCoordinator(t, Options{
+		Workers:          []string{good[0], bad.URL},
+		ShardsPerWorker:  4,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour, // stays open for the whole test
+		ProbeInterval:    time.Hour, // health stays optimistic; the breaker is the mechanism under test
+		RetryMaxDelay:    2 * time.Millisecond,
+	})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		status, got := postJSON(t, ts.URL+"/v1/sweep", req)
+		if status != http.StatusOK {
+			t.Fatalf("sweep %d: status %d: %s", i, status, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("sweep %d differs from single node with a broken worker in the ring", i)
+		}
+	}
+
+	if n := c.metrics.breakerOpens.Load(); n == 0 {
+		t.Fatal("the broken worker's breaker never opened")
+	}
+	if n := c.metrics.breakerSkips.Load(); n == 0 {
+		t.Fatal("no candidate scan ever skipped the open breaker")
+	}
+	for _, w := range c.Workers() {
+		if w.Addr == bad.URL && w.Breaker != "open" {
+			t.Fatalf("broken worker breaker state = %q, want open", w.Breaker)
+		}
+	}
+}

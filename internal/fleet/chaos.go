@@ -1,0 +1,277 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig tunes the deterministic fault-injecting transport. Every
+// rate is a per-request probability in [0, 1]; at most one fault class
+// fires per request, drawn in the declaration order below from a
+// single seeded PCG stream — same seed, same request sequence, same
+// faults. Zero-valued fields disable their class.
+type ChaosConfig struct {
+	// Seed drives the fault stream. The same seed over the same request
+	// order reproduces the same faults exactly.
+	Seed uint64
+
+	// RefuseRate drops the request before it leaves: the caller sees a
+	// transport error, as if the worker's listener were gone.
+	RefuseRate float64
+
+	// LatencyRate delays the request by Latency before forwarding.
+	LatencyRate float64
+	Latency     time.Duration
+
+	// Err5xxRate synthesizes a 500 response with a well-formed error
+	// envelope instead of forwarding. Err5xxBurst > 1 extends each hit
+	// to that many consecutive requests — a worker stuck failing, not
+	// one unlucky call.
+	Err5xxRate  float64
+	Err5xxBurst int
+
+	// TruncateRate forwards the request but cuts the response body at
+	// half its length — a worker dying mid-write.
+	TruncateRate float64
+
+	// CorruptRate forwards the request but overwrites a middle byte of
+	// the response body with 0x00, which is invalid anywhere in JSON —
+	// decoding fails loudly rather than yielding plausible wrong data.
+	CorruptRate float64
+
+	// SSECutRate applies to event-stream requests only (Accept:
+	// text/event-stream): the response body is cut after SSECutAfter
+	// bytes (default 256), severing the stream mid-event.
+	SSECutRate  float64
+	SSECutAfter int
+}
+
+// ChaosCounts reports how many times each fault class fired.
+type ChaosCounts struct {
+	Refused   int64
+	Delayed   int64
+	Err5xx    int64
+	Truncated int64
+	Corrupted int64
+	SSECut    int64
+	Passed    int64
+}
+
+// ChaosTransport is a fault-injecting http.RoundTripper for tests:
+// install it as the coordinator's Options.HTTPClient transport and
+// every worker call — shards, probes, job control, event streams —
+// rolls against the configured fault classes. Faults are drawn from a
+// seeded deterministic stream, so a failing chaos test replays
+// exactly; the per-class counters say what actually fired.
+type ChaosTransport struct {
+	cfg  ChaosConfig
+	next http.RoundTripper
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	burst int // remaining forced-5xx requests
+
+	refused   atomic.Int64
+	delayed   atomic.Int64
+	err5xx    atomic.Int64
+	truncated atomic.Int64
+	corrupted atomic.Int64
+	sseCut    atomic.Int64
+	passed    atomic.Int64
+}
+
+// NewChaosTransport wraps next (nil means http.DefaultTransport) with
+// seeded fault injection.
+func NewChaosTransport(cfg ChaosConfig, next http.RoundTripper) *ChaosTransport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if cfg.Err5xxBurst < 1 {
+		cfg.Err5xxBurst = 1
+	}
+	if cfg.SSECutAfter <= 0 {
+		cfg.SSECutAfter = 256
+	}
+	return &ChaosTransport{
+		cfg:  cfg,
+		next: next,
+		rng:  rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Counts snapshots the per-class fault counters.
+func (t *ChaosTransport) Counts() ChaosCounts {
+	return ChaosCounts{
+		Refused:   t.refused.Load(),
+		Delayed:   t.delayed.Load(),
+		Err5xx:    t.err5xx.Load(),
+		Truncated: t.truncated.Load(),
+		Corrupted: t.corrupted.Load(),
+		SSECut:    t.sseCut.Load(),
+		Passed:    t.passed.Load(),
+	}
+}
+
+// chaos fault classes, drawn in declaration order.
+const (
+	chaosNone = iota
+	chaosRefuse
+	chaosLatency
+	chaos5xx
+	chaosTruncate
+	chaosCorrupt
+	chaosSSECut
+)
+
+// roll draws this request's fault under the lock — the draw order is
+// the serialization point that makes a seeded run reproducible.
+func (t *ChaosTransport) roll(sse bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.burst > 0 {
+		t.burst--
+		return chaos5xx
+	}
+	u := t.rng.Float64()
+	if sse {
+		// Streams only refuse or cut: body mangling is meaningless for
+		// an indefinite stream and latency just delays the first event.
+		switch {
+		case u < t.cfg.RefuseRate:
+			return chaosRefuse
+		case u < t.cfg.RefuseRate+t.cfg.SSECutRate:
+			return chaosSSECut
+		}
+		return chaosNone
+	}
+	lo := 0.0
+	for _, c := range []struct {
+		rate  float64
+		class int
+	}{
+		{t.cfg.RefuseRate, chaosRefuse},
+		{t.cfg.LatencyRate, chaosLatency},
+		{t.cfg.Err5xxRate, chaos5xx},
+		{t.cfg.TruncateRate, chaosTruncate},
+		{t.cfg.CorruptRate, chaosCorrupt},
+	} {
+		if u < lo+c.rate {
+			if c.class == chaos5xx {
+				t.burst = t.cfg.Err5xxBurst - 1
+			}
+			return c.class
+		}
+		lo += c.rate
+	}
+	return chaosNone
+}
+
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	sse := strings.Contains(req.Header.Get("Accept"), "text/event-stream")
+	switch t.roll(sse) {
+	case chaosRefuse:
+		t.refused.Add(1)
+		return nil, fmt.Errorf("chaos: connection refused to %s", req.URL.Host)
+
+	case chaosLatency:
+		t.delayed.Add(1)
+		timer := time.NewTimer(t.cfg.Latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+		return t.next.RoundTrip(req)
+
+	case chaos5xx:
+		t.err5xx.Add(1)
+		body := `{"error":{"code":"internal","message":"chaos: injected server error"}}` + "\n"
+		return &http.Response{
+			StatusCode:    http.StatusInternalServerError,
+			Status:        "500 Internal Server Error",
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+
+	case chaosTruncate:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil || resp.StatusCode/100 != 2 {
+			return resp, err
+		}
+		t.truncated.Add(1)
+		return mangleBody(resp, func(b []byte) []byte { return b[:len(b)/2] }), nil
+
+	case chaosCorrupt:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil || resp.StatusCode/100 != 2 {
+			return resp, err
+		}
+		t.corrupted.Add(1)
+		return mangleBody(resp, func(b []byte) []byte {
+			if len(b) > 0 {
+				b[len(b)/2] = 0x00
+			}
+			return b
+		}), nil
+
+	case chaosSSECut:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil || resp.StatusCode/100 != 2 {
+			return resp, err
+		}
+		t.sseCut.Add(1)
+		resp.Body = &cutReader{rc: resp.Body, remaining: t.cfg.SSECutAfter}
+		resp.ContentLength = -1
+		return resp, nil
+
+	default:
+		t.passed.Add(1)
+		return t.next.RoundTrip(req)
+	}
+}
+
+// mangleBody reads resp's whole body, rewrites it with f, and returns
+// resp carrying the mangled bytes. Read errors become an empty body —
+// the caller was going to get a decode failure either way.
+func mangleBody(resp *http.Response, f func([]byte) []byte) *http.Response {
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	b = f(b)
+	resp.Body = io.NopCloser(bytes.NewReader(b))
+	resp.ContentLength = int64(len(b))
+	return resp
+}
+
+// cutReader severs a stream after remaining bytes: EOF mid-event, the
+// way a killed worker drops an SSE connection.
+type cutReader struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if len(p) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= n
+	return n, err
+}
+
+func (c *cutReader) Close() error { return c.rc.Close() }

@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pixel/api"
+)
+
+// errJobsUnsupported marks a worker fleet that cannot run jobs (an
+// older pixeld without the routes, or one started without -jobs):
+// the caller falls back to the synchronous shard path.
+var errJobsUnsupported = errors.New("fleet: worker does not support jobs")
+
+// jobsUnsupported classifies a worker-job control failure as "this
+// worker has no job API" rather than a fault: 501 from a jobs-disabled
+// pixeld, 404/405 from a build predating the routes.
+func jobsUnsupported(err error) bool {
+	var he *api.HTTPError
+	if errors.As(err, &he) {
+		switch he.Status {
+		case http.StatusNotImplemented, http.StatusNotFound, http.StatusMethodNotAllowed:
+			return true
+		}
+	}
+	return false
+}
+
+// runShardJob dispatches one shard sub-request as a job on the shard
+// key's ring worker and follows it to completion. Events from the
+// worker's SSE stream feed onEvent as they arrive (the stream
+// auto-reconnects with Last-Event-ID, see api.EventStream); the job's
+// chunked partial is polled on JobPollInterval and fed to onStatus, so
+// units the worker already computed are harvested even if it dies
+// before finishing — that harvest is what partial-result salvage
+// re-plans around. On success the worker job's final Result is
+// returned; the worker job is deleted best-effort either way, which is
+// also how a cancelled coordinator job propagates its cancellation.
+func (c *Coordinator) runShardJob(ctx context.Context, key string, jreq api.JobRequest, onEvent func(api.JobEvent), onStatus func(api.JobStatusResponse)) (json.RawMessage, error) {
+	order := c.candidates(key)
+	h, w, err := runArm(ctx, c, order, func(ctx context.Context, cl *api.Client) (api.JobHandle, error) {
+		cctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+		defer cancel()
+		return cl.CreateJob(cctx, jreq)
+	})
+	if err != nil {
+		if jobsUnsupported(err) {
+			return nil, errJobsUnsupported
+		}
+		return nil, err
+	}
+	defer func() {
+		// Best-effort cleanup on the worker: frees its registry slot on
+		// success, cancels the remote work when our ctx died first. Runs
+		// on a detached context — the whole point is surviving ctx.
+		dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+		defer cancel()
+		_ = w.client.DeleteJob(dctx, h.ID)
+	}()
+
+	fetch := func() (api.JobStatusResponse, error) {
+		pctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+		defer cancel()
+		return w.client.Job(pctx, h.ID)
+	}
+	finish := func(st api.JobStatusResponse) (json.RawMessage, error) {
+		if onStatus != nil {
+			onStatus(st)
+		}
+		switch st.State {
+		case api.JobStateSucceeded:
+			w.br.onSuccess()
+			return st.Result, nil
+		default:
+			msg := st.Error
+			if msg == "" {
+				msg = "worker job state " + st.State
+			}
+			return nil, fmt.Errorf("fleet: job %s on %s: %s", h.ID, w.name, msg)
+		}
+	}
+
+	// The stream reader pushes events and its terminal error through
+	// channels; the main loop multiplexes them with the partial poll.
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	events := make(chan api.JobEvent, 64)
+	streamErr := make(chan error, 1)
+	go func() {
+		st, err := w.client.JobEvents(sctx, h.ID, -1)
+		if err != nil {
+			streamErr <- err
+			return
+		}
+		defer st.Close()
+		for {
+			ev, err := st.Next()
+			if err != nil {
+				streamErr <- err
+				return
+			}
+			select {
+			case events <- ev:
+			case <-sctx.Done():
+				streamErr <- sctx.Err()
+				return
+			}
+		}
+	}()
+
+	poll := time.NewTicker(c.opts.JobPollInterval)
+	defer poll.Stop()
+	for {
+		select {
+		case ev := <-events:
+			if onEvent != nil {
+				onEvent(ev)
+			}
+			if ev.Terminal() {
+				st, err := fetch()
+				if err != nil {
+					return nil, err
+				}
+				return finish(st)
+			}
+		case err := <-streamErr:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// The stream died past its reconnect budget. One last poll:
+			// the job may have finished while the stream was down.
+			if st, ferr := fetch(); ferr == nil && st.State == api.JobStateSucceeded {
+				return finish(st)
+			}
+			if workerFault(ctx, err) {
+				if w.br.onFailure(time.Now()) {
+					c.metrics.breakerOpens.Add(1)
+					c.logger.Warn("fleet: breaker opened", "worker", w.name, "err", err)
+				}
+			}
+			return nil, fmt.Errorf("fleet: job %s event stream from %s: %w", h.ID, w.name, err)
+		case <-poll.C:
+			st, err := fetch()
+			if err != nil {
+				// A dead worker surfaces through the stream watcher; a
+				// transient poll failure is not worth more than skipping.
+				continue
+			}
+			if onStatus != nil {
+				onStatus(st)
+			}
+			switch st.State {
+			case api.JobStateSucceeded, api.JobStateFailed, api.JobStateCancelled:
+				return finish(st)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// fanAll runs fn for every index concurrently and waits for all of
+// them — no cancellation on first error, unlike fanOut: the salvage
+// path wants every sibling shard's partial harvest even when one dies.
+// It returns the first error, or nil when every shard landed.
+func fanAll(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n == 1 {
+		return fn(ctx, 0)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := fn(ctx, i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// waitHealthy parks a fleet job while no member is healthy: the job
+// stays running and keeps waiting for the prober to revive someone (or
+// for a worker to be added) instead of failing — a temporarily dark
+// fleet is an operational state, not a job error.
+func (c *Coordinator) waitHealthy(ctx context.Context) error {
+	if c.healthyCount() > 0 {
+		return nil
+	}
+	c.metrics.jobsParked.Add(1)
+	c.logger.Warn("fleet: job parked, no healthy workers")
+	interval := c.opts.ProbeInterval / 2
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		if err := sleepCtx(ctx, jitter(interval)); err != nil {
+			return err
+		}
+		if c.healthyCount() > 0 {
+			c.logger.Info("fleet: job unparked, workers healthy again")
+			return nil
+		}
+	}
+}

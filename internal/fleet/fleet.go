@@ -8,18 +8,26 @@
 // cross-product-expressible blocks of the canonical design-major grid,
 // so every shard sub-request is itself a valid /v1/sweep body and each
 // worker prices exactly its rows of the full grid in the full grid's
-// order. Robustness shards are contiguous σ-axis chunks: the engine's
-// trial seeds deliberately exclude σ (see internal/montecarlo), so a
-// worker running a σ subset samples exactly the draws the full axis
-// would, and the unperturbed baseline is σ-independent and merely
-// cross-checked at merge time.
+// order. Robustness shards are σ-axis slices: the engine's trial seeds
+// deliberately exclude σ (see internal/montecarlo), so a worker running
+// a σ subset samples exactly the draws the full axis would, and the
+// unperturbed baseline is σ-independent and merely cross-checked at
+// merge time.
 //
 // Operationally the coordinator brings what a fan-out needs: per-shard
-// retry with exponential backoff honoring Retry-After, ring-successor
-// failover, straggler hedging once a latency window knows what "slow"
-// means, /healthz probing with eviction and revival, consistent-hash
-// routing that keeps each design point hot in exactly one worker's
-// result LRU, and Prometheus metrics under the pixelfleet_ prefix.
+// retry with jittered exponential backoff honoring Retry-After,
+// ring-successor failover, a per-worker circuit breaker in front of the
+// retry path, straggler hedging once a latency window knows what "slow"
+// means, /healthz probing with eviction and revival, dynamic membership
+// (POST/DELETE /v1/fleet/workers rebuilds the ring without dropping
+// in-flight shards), consistent-hash routing that keeps each design
+// point hot in exactly one worker's result LRU, and Prometheus metrics
+// under the pixelfleet_ prefix. Coordinator jobs dispatch shards as
+// worker jobs and harvest their partial streams, so a worker death
+// re-plans only the missing cells/σ-points (partial-result salvage),
+// and with JobsDir set the coordinator's own job registry is durable —
+// a restarted coordinator re-adopts fleet jobs and re-dispatches only
+// unfinished work.
 //
 // The coordinator serves the same /v1 routes as a worker — clients
 // cannot tell them apart — and is surfaced as `pixeld -coordinator`
@@ -55,13 +63,18 @@ const (
 	DefaultProbeFailThreshold = 3
 	DefaultRequestTimeout     = 30 * time.Second
 	DefaultMaxTrials          = 4096
+	DefaultBreakerThreshold   = 5
+	DefaultBreakerCooldown    = 5 * time.Second
+	DefaultJobPollInterval    = 250 * time.Millisecond
+	DefaultMaxSalvageRounds   = 5
 )
 
 // Options configures a Coordinator. Workers is required; everything
 // else has a serving-sane default.
 type Options struct {
-	// Workers are the worker pixeld addresses ("host:port" or full
-	// base URLs). Required, at least one.
+	// Workers are the initial worker pixeld addresses ("host:port" or
+	// full base URLs). Required, at least one; the set can change at
+	// runtime through POST/DELETE /v1/fleet/workers.
 	Workers []string
 	// HTTPClient carries shard requests; nil means http.DefaultClient.
 	// Per-request deadlines ride on contexts, not the client.
@@ -75,8 +88,9 @@ type Options struct {
 	// successors. <= 0 means DefaultMaxAttempts.
 	MaxAttempts int
 	// RetryBaseDelay is the first backoff sleep; it doubles per retry
-	// up to RetryMaxDelay. A worker Retry-After hint above the cap is
-	// honored anyway. <= 0 means the defaults.
+	// up to RetryMaxDelay (each sleep jittered ±10% so a fleet of
+	// coordinators cannot synchronize retries). A worker Retry-After
+	// hint above the cap is honored anyway. <= 0 means the defaults.
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
 	// HedgePercentile is the shard-latency quantile that arms the
@@ -94,10 +108,17 @@ type Options struct {
 	// ProbeInterval, ProbeTimeout and ProbeFailThreshold tune the
 	// /healthz prober: a worker is evicted after ProbeFailThreshold
 	// consecutive bad probes (immediately when it reports "draining"),
-	// and one good probe revives it. <= 0 means the defaults.
+	// and one good probe revives it. The interval is jittered ±10%.
+	// <= 0 means the defaults.
 	ProbeInterval      time.Duration
 	ProbeTimeout       time.Duration
 	ProbeFailThreshold int
+	// BreakerThreshold is how many consecutive worker-attributable
+	// shard failures open a worker's circuit breaker; BreakerCooldown
+	// is how long it stays open before a half-open probe call is
+	// allowed through. <= 0 means the defaults.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// RequestTimeout bounds one synchronous coordinator request end to
 	// end, shard fan-out included; <= 0 means DefaultRequestTimeout.
 	RequestTimeout time.Duration
@@ -106,13 +127,27 @@ type Options struct {
 	MaxTrials int
 	// MaxJobs, MaxRunningJobs, JobTTL and Heartbeat configure the
 	// coordinator's job registry (see jobs.RegistryOptions and the
-	// server's JobsConfig). Coordinator jobs are in-memory only: the
-	// expensive state lives in the workers' result caches, so a
-	// restarted coordinator simply re-runs and the workers re-serve.
+	// server's JobsConfig).
 	MaxJobs        int
 	MaxRunningJobs int
 	JobTTL         time.Duration
 	Heartbeat      time.Duration
+	// JobsDir makes the coordinator's job registry durable: fleet jobs
+	// snapshot their shard plan and received partials there, and a
+	// restarted coordinator re-adopts them and re-dispatches only the
+	// still-missing work. Empty keeps jobs in memory only.
+	JobsDir string
+	// JobSaveEvery is the periodic checkpoint cadence of durable fleet
+	// jobs; <= 0 means jobs.DefaultSaveEvery. Ignored without JobsDir.
+	JobSaveEvery time.Duration
+	// JobPollInterval throttles how often a fleet job polls a worker
+	// job's status for partial sweep cells while its event stream is
+	// quiet; <= 0 means DefaultJobPollInterval.
+	JobPollInterval time.Duration
+	// MaxSalvageRounds bounds how many consecutive no-progress salvage
+	// rounds a fleet job tolerates before it fails with the last shard
+	// error; <= 0 means DefaultMaxSalvageRounds.
+	MaxSalvageRounds int
 	// Logger receives structured logs; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -149,6 +184,12 @@ func (o Options) withDefaults() Options {
 	if o.ProbeFailThreshold <= 0 {
 		o.ProbeFailThreshold = DefaultProbeFailThreshold
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = DefaultRequestTimeout
 	}
@@ -158,32 +199,47 @@ func (o Options) withDefaults() Options {
 	if o.Heartbeat <= 0 {
 		o.Heartbeat = 15 * time.Second
 	}
+	if o.JobPollInterval <= 0 {
+		o.JobPollInterval = DefaultJobPollInterval
+	}
+	if o.MaxSalvageRounds <= 0 {
+		o.MaxSalvageRounds = DefaultMaxSalvageRounds
+	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
 	return o
 }
 
-// worker is one fleet member: its configured name (the metric label),
-// a non-retrying API client (the coordinator's executor owns retry and
-// failover so it can count them and fail over between workers), and
-// the health bit the prober flips and the candidate ordering reads.
+// worker is one fleet member: its configured name (the metric label and
+// membership key), a non-retrying API client (the coordinator's
+// executor owns retry and failover so it can count them and fail over
+// between workers), the health bit the prober flips, the prober's
+// consecutive-failure count, and the circuit breaker in front of the
+// retry path.
 type worker struct {
-	name    string
-	client  *api.Client
-	healthy atomic.Bool
+	name       string
+	client     *api.Client
+	healthy    atomic.Bool
+	probeFails atomic.Int32
+	br         breaker
 }
 
 // Coordinator fans /v1 requests across a worker fleet. Construct with
 // New; Close releases its background machinery.
 type Coordinator struct {
 	opts    Options
-	workers []*worker
-	ring    *ring
 	metrics *metrics
 	prober  *prober
 	reg     *jobs.Registry
 	logger  *slog.Logger
+
+	// Membership is copy-on-write behind memMu: members and ring are
+	// replaced together, never mutated in place, so in-flight shards
+	// keep their candidate snapshots across reconfiguration.
+	memMu   sync.RWMutex
+	members []*worker
+	ring    *ring
 
 	latMu sync.Mutex
 	lat   map[string]*latencyWindow
@@ -194,7 +250,8 @@ type Coordinator struct {
 
 // New builds a Coordinator over the given workers. Workers start
 // healthy (optimistically — requests flow before the first probe) and
-// the prober starts immediately.
+// the prober starts immediately. With JobsDir set, persisted fleet
+// jobs are re-adopted and resume before New returns.
 func New(opts Options) (*Coordinator, error) {
 	if len(opts.Workers) == 0 {
 		return nil, errors.New("fleet: Options.Workers must name at least one worker")
@@ -202,34 +259,77 @@ func New(opts Options) (*Coordinator, error) {
 	opts = opts.withDefaults()
 	c := &Coordinator{
 		opts:    opts,
-		workers: make([]*worker, len(opts.Workers)),
-		ring:    newRing(opts.Workers),
 		metrics: newMetrics(),
 		logger:  opts.Logger,
 		lat:     map[string]*latencyWindow{},
 	}
-	for i, addr := range opts.Workers {
-		base := addr
-		if !strings.Contains(base, "://") {
-			base = "http://" + base
+	members := make([]*worker, 0, len(opts.Workers))
+	for _, addr := range opts.Workers {
+		members = append(members, c.newWorker(addr))
+	}
+	c.members = members
+	c.ring = newRing(opts.Workers)
+
+	var mgr *jobs.Manager
+	if opts.JobsDir != "" {
+		var err error
+		if mgr, err = jobs.NewManager(opts.JobsDir); err != nil {
+			return nil, err
 		}
-		w := &worker{name: addr, client: api.NewClient(base, opts.HTTPClient)}
-		w.healthy.Store(true)
-		c.workers[i] = w
 	}
 	c.reg = jobs.NewRegistry(jobs.RegistryOptions{
 		Factory:    c.buildJobTask,
+		Manager:    mgr,
 		MaxJobs:    opts.MaxJobs,
 		MaxRunning: opts.MaxRunningJobs,
 		TTL:        opts.JobTTL,
+		SaveEvery:  opts.JobSaveEvery,
 		Logger:     opts.Logger,
 	})
+	if mgr != nil {
+		resumed, err := c.reg.Recover()
+		if err != nil {
+			c.logger.Warn("fleet: job recovery failed", "err", err)
+		}
+		if resumed > 0 {
+			c.logger.Info("fleet: re-adopted unfinished jobs", "resumed", resumed)
+		}
+	}
 	c.prober = startProber(c)
 	return c, nil
 }
 
-// Close stops the prober and the job registry (running coordinator
-// jobs are cancelled; they hold no durable state).
+// newWorker builds a fleet member from its configured address.
+func (c *Coordinator) newWorker(addr string) *worker {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	w := &worker{
+		name:   addr,
+		client: api.NewClient(base, c.opts.HTTPClient),
+		br: breaker{
+			threshold: c.opts.BreakerThreshold,
+			cooldown:  c.opts.BreakerCooldown,
+		},
+	}
+	w.healthy.Store(true)
+	return w
+}
+
+// membership returns the current copy-on-write member set and ring.
+// The returned slice is never mutated after publication, so callers
+// may hold it across blocking work.
+func (c *Coordinator) membership() ([]*worker, *ring) {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.members, c.ring
+}
+
+// Close stops the prober and the job registry. Running coordinator
+// jobs are cancelled; with JobsDir they flush a final checkpoint and
+// stay persisted as unfinished, so the next coordinator re-adopts them
+// and re-dispatches only the still-missing work.
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() {
 		c.prober.shutdown()
@@ -263,10 +363,11 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener, drain time.Dur
 	return err
 }
 
-// healthyCount returns how many workers the prober currently trusts.
+// healthyCount returns how many members the prober currently trusts.
 func (c *Coordinator) healthyCount() int {
+	members, _ := c.membership()
 	n := 0
-	for _, w := range c.workers {
+	for _, w := range members {
 		if w.healthy.Load() {
 			n++
 		}
@@ -281,7 +382,8 @@ func (c *Coordinator) healthyCount() int {
 func (c *Coordinator) shardTarget() int {
 	n := c.healthyCount()
 	if n == 0 {
-		n = len(c.workers)
+		members, _ := c.membership()
+		n = len(members)
 	}
 	return n * c.opts.ShardsPerWorker
 }
@@ -289,13 +391,15 @@ func (c *Coordinator) shardTarget() int {
 // candidates orders the shard key's ring sequence healthy-first: the
 // owner (or its first healthy successor) serves the shard, and
 // unhealthy workers stay at the tail as a last resort so a fully-dark
-// fleet surfaces the real error instead of "no workers".
+// fleet surfaces the real error instead of "no workers". The slice is
+// a snapshot — membership changes do not disturb shards in flight.
 func (c *Coordinator) candidates(key string) []*worker {
-	seq := c.ring.sequence(key)
+	members, ring := c.membership()
+	seq := ring.sequence(key)
 	up := make([]*worker, 0, len(seq))
 	var down []*worker
 	for _, wi := range seq {
-		w := c.workers[wi]
+		w := members[wi]
 		if w.healthy.Load() {
 			up = append(up, w)
 		} else {

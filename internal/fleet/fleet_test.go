@@ -24,7 +24,8 @@ func discardLogger() *slog.Logger {
 }
 
 // newWorkerHandler builds a real single-node pixeld handler: the same
-// engine and robustness evaluator the pixeld binary wires up.
+// engine and robustness evaluator the pixeld binary wires up. No job
+// routes — tests that wrap the handler want the sync surface only.
 func newWorkerHandler() http.Handler {
 	srv := server.New(server.Config{
 		Engine: pixel.NewEngine(pixel.EngineOptions{}),
@@ -36,23 +37,45 @@ func newWorkerHandler() http.Handler {
 	return srv.Handler()
 }
 
+// startWorker brings up one real worker with the job routes enabled —
+// the shape a production fleet member has.
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{
+		Engine: pixel.NewEngine(pixel.EngineOptions{}),
+		Robust: server.RobustnessFunc(func(ctx context.Context, spec pixel.RobustnessSpec) (pixel.RobustnessReport, error) {
+			return pixel.RobustnessContext(ctx, spec)
+		}),
+		Jobs:   &server.JobsConfig{MaxRunning: 8},
+		Logger: discardLogger(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
 // startWorkers brings up n real workers and returns their base URLs.
 func startWorkers(t *testing.T, n int) []string {
 	t.Helper()
 	urls := make([]string, n)
 	for i := range urls {
-		ts := httptest.NewServer(newWorkerHandler())
-		t.Cleanup(ts.Close)
-		urls[i] = ts.URL
+		urls[i] = startWorker(t).URL
 	}
 	return urls
 }
 
-// newTestCoordinator builds a coordinator with test-fast retry timing.
+// newTestCoordinator builds a coordinator with test-fast retry and
+// job-poll timing.
 func newTestCoordinator(t *testing.T, opts Options) *Coordinator {
 	t.Helper()
 	if opts.RetryBaseDelay == 0 {
 		opts.RetryBaseDelay = time.Millisecond
+	}
+	if opts.JobPollInterval == 0 {
+		opts.JobPollInterval = 5 * time.Millisecond
 	}
 	if opts.Logger == nil {
 		opts.Logger = discardLogger()
@@ -279,7 +302,8 @@ func TestProberEvictsAndRevives(t *testing.T) {
 	waitHealthy := func(want bool) {
 		t.Helper()
 		deadline := time.Now().Add(5 * time.Second)
-		for c.workers[0].healthy.Load() != want {
+		members, _ := c.membership()
+		for members[0].healthy.Load() != want {
 			if time.Now().After(deadline) {
 				t.Fatalf("worker healthy never became %v", want)
 			}
@@ -298,7 +322,8 @@ func TestProberEvictsAndRevives(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	c.metrics.write(&buf, c.healthyCount(), len(c.workers))
+	members, _ := c.membership()
+	c.metrics.write(&buf, c.healthyCount(), len(members), c.breakersOpen())
 	for _, want := range []string{
 		"pixelfleet_worker_evictions_total 1",
 		"pixelfleet_worker_revivals_total 1",

@@ -28,7 +28,21 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", c.instrument("/v1/jobs/{id}", c.handleJobGet))
 	mux.Handle("DELETE /v1/jobs/{id}", c.instrument("/v1/jobs/{id}", c.handleJobDelete))
 	mux.Handle("GET /v1/jobs/{id}/events", c.instrument("/v1/jobs/{id}/events", c.handleJobEvents))
+	mux.Handle("GET /v1/fleet/workers", c.instrument("/v1/fleet/workers", c.handleWorkersList))
+	mux.Handle("POST /v1/fleet/workers", c.instrument("/v1/fleet/workers", c.handleWorkerAdd))
+	mux.Handle("DELETE /v1/fleet/workers", c.instrument("/v1/fleet/workers", c.handleWorkerRemove))
 	return mux
+}
+
+// preflight refuses a synchronous fan-out up front when the fleet has
+// no healthy member — a uniform 503 no_healthy_workers instead of
+// whatever transport error the first doomed shard would produce.
+func (c *Coordinator) preflight(w http.ResponseWriter) bool {
+	if c.healthyCount() == 0 {
+		writeError(w, errNoHealthyWorkers())
+		return false
+	}
+	return true
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -41,7 +55,8 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	c.metrics.write(w, c.healthyCount(), len(c.workers))
+	members, _ := c.membership()
+	c.metrics.write(w, c.healthyCount(), len(members), c.breakersOpen())
 }
 
 func (c *Coordinator) handleNetworks(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +82,9 @@ func (c *Coordinator) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if !c.preflight(w) {
+		return
+	}
 	ctx, cancel := c.requestCtx(r)
 	defer cancel()
 	res, err := c.Evaluate(ctx, req)
@@ -81,6 +99,9 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req api.SweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, err)
+		return
+	}
+	if !c.preflight(w) {
 		return
 	}
 	ctx, cancel := c.requestCtx(r)
@@ -99,6 +120,9 @@ func (c *Coordinator) handleRobustness(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if !c.preflight(w) {
+		return
+	}
 	ctx, cancel := c.requestCtx(r)
 	defer cancel()
 	resp, err := c.Robustness(ctx, req)
@@ -115,6 +139,9 @@ func (c *Coordinator) handleMap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if !c.preflight(w) {
+		return
+	}
 	ctx, cancel := c.requestCtx(r)
 	defer cancel()
 	resp, err := c.Map(ctx, req)
@@ -129,6 +156,9 @@ func (c *Coordinator) handleInfer(w http.ResponseWriter, r *http.Request) {
 	var req api.InferRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, err)
+		return
+	}
+	if !c.preflight(w) {
 		return
 	}
 	ctx, cancel := c.requestCtx(r)

@@ -20,15 +20,31 @@ const statusClientClosedRequest = 499
 // httpError carries an explicit status and code for request-shape
 // failures the coordinator detects itself (bad JSON, missing fields).
 type httpError struct {
-	status int
-	code   string
-	msg    string
+	status      int
+	code        string
+	msg         string
+	retryAfterS int
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequestf(format string, args ...any) error {
 	return &httpError{status: http.StatusBadRequest, code: "bad_request", msg: fmt.Sprintf(format, args...)}
+}
+
+// errNoHealthyWorkers is the uniform refusal for synchronous fan-out
+// when every fleet member is evicted: a 503 with its own wire code (not
+// a generic 502 from whichever shard happened to fail first) and a
+// Retry-After hint, so clients can tell "fleet temporarily empty" from
+// a worker-side failure. Fleet jobs never surface this — they park and
+// wait for the prober to revive somebody.
+func errNoHealthyWorkers() error {
+	return &httpError{
+		status:      http.StatusServiceUnavailable,
+		code:        "no_healthy_workers",
+		msg:         "no healthy workers in the fleet; retry shortly",
+		retryAfterS: 1,
+	}
 }
 
 // errorTable maps the sentinels the coordinator can surface locally
@@ -62,7 +78,7 @@ func classify(err error) (int, api.Error) {
 	}
 	var le *httpError
 	if errors.As(err, &le) {
-		return le.status, api.Error{Code: le.code, Message: le.msg}
+		return le.status, api.Error{Code: le.code, Message: le.msg, RetryAfterS: le.retryAfterS}
 	}
 	for _, e := range errorTable {
 		if errors.Is(err, e.is) {

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"net/http"
+
+	"pixel/api"
+)
+
+// AddWorker admits a new fleet member at runtime and rebuilds the
+// consistent-hash ring. The membership swap is copy-on-write: shards
+// already in flight keep the candidate snapshot they routed with, so
+// nothing is dropped — only new shards see the new ring. The worker
+// starts healthy (optimistically, like the initial set) and is probed
+// from the next sweep.
+func (c *Coordinator) AddWorker(addr string) error {
+	if addr == "" {
+		return badRequestf("worker address must be non-empty")
+	}
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	for _, w := range c.members {
+		if w.name == addr {
+			return &httpError{status: http.StatusConflict, code: "conflict",
+				msg: "worker " + addr + " is already a fleet member"}
+		}
+	}
+	members := make([]*worker, 0, len(c.members)+1)
+	members = append(members, c.members...)
+	members = append(members, c.newWorker(addr))
+	c.members = members
+	c.ring = newRing(memberNames(members))
+	c.metrics.workersAdded.Add(1)
+	c.logger.Info("fleet: worker added", "worker", addr, "members", len(members))
+	return nil
+}
+
+// RemoveWorker retires a member and rebuilds the ring. In-flight
+// shards holding the old candidate snapshot may still complete on the
+// removed worker; the keys it owned move to its ring successors for
+// everything planned afterwards. The last member cannot be removed —
+// a coordinator with no workers serves nothing.
+func (c *Coordinator) RemoveWorker(addr string) error {
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	idx := -1
+	for i, w := range c.members {
+		if w.name == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return &httpError{status: http.StatusNotFound, code: "not_found",
+			msg: "no fleet member " + addr}
+	}
+	if len(c.members) == 1 {
+		return &httpError{status: http.StatusConflict, code: "conflict",
+			msg: "cannot remove the last fleet member"}
+	}
+	members := make([]*worker, 0, len(c.members)-1)
+	members = append(members, c.members[:idx]...)
+	members = append(members, c.members[idx+1:]...)
+	c.members = members
+	c.ring = newRing(memberNames(members))
+	c.metrics.workersRemoved.Add(1)
+	c.logger.Info("fleet: worker removed", "worker", addr, "members", len(members))
+	return nil
+}
+
+// Workers snapshots the roster with each member's health and breaker
+// state — the GET /v1/fleet/workers payload.
+func (c *Coordinator) Workers() []api.FleetWorker {
+	members, _ := c.membership()
+	out := make([]api.FleetWorker, 0, len(members))
+	for _, w := range members {
+		out = append(out, api.FleetWorker{
+			Addr:    w.name,
+			Healthy: w.healthy.Load(),
+			Breaker: w.br.status(),
+		})
+	}
+	return out
+}
+
+func memberNames(members []*worker) []string {
+	names := make([]string, len(members))
+	for i, w := range members {
+		names[i] = w.name
+	}
+	return names
+}
+
+// breakersOpen counts members whose breaker currently refuses calls
+// (the /metrics gauge).
+func (c *Coordinator) breakersOpen() int {
+	members, _ := c.membership()
+	n := 0
+	for _, w := range members {
+		if w.br.isOpen() {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) handleWorkersList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.FleetWorkersResponse{Workers: c.Workers()})
+}
+
+func (c *Coordinator) handleWorkerAdd(w http.ResponseWriter, r *http.Request) {
+	var req api.FleetWorkerRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := c.AddWorker(req.Addr); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FleetWorkersResponse{Workers: c.Workers()})
+}
+
+// handleWorkerRemove takes the address in the body (worker addresses
+// are URLs — a path segment would need double escaping).
+func (c *Coordinator) handleWorkerRemove(w http.ResponseWriter, r *http.Request) {
+	var req api.FleetWorkerRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := c.RemoveWorker(req.Addr); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FleetWorkersResponse{Workers: c.Workers()})
+}

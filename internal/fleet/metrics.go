@@ -27,6 +27,17 @@ type metrics struct {
 	evictions   atomic.Int64 // healthy->unhealthy worker transitions
 	revivals    atomic.Int64 // unhealthy->healthy worker transitions
 
+	breakerOpens atomic.Int64 // circuit-breaker transitions into the open state
+	breakerSkips atomic.Int64 // candidates skipped because their breaker refused the call
+
+	workersAdded   atomic.Int64 // members admitted via POST /v1/fleet/workers
+	workersRemoved atomic.Int64 // members retired via DELETE /v1/fleet/workers
+
+	salvageRounds  atomic.Int64 // salvage re-plan rounds run by fleet jobs
+	salvagedUnits  atomic.Int64 // cells/σ-points kept from failed shards instead of re-run
+	replannedUnits atomic.Int64 // cells/σ-points re-dispatched in salvage shards
+	jobsParked     atomic.Int64 // fleet jobs that paused waiting for a healthy worker
+
 	mu        sync.Mutex
 	requests  map[routeCode]int64   // completed coordinator requests by route+status
 	shards    map[workerRoute]int64 // shards served, by winning worker and route
@@ -94,7 +105,7 @@ func (m *metrics) shardCount(route, worker string) int64 {
 
 // write renders the registry in Prometheus text format. Series are
 // emitted in sorted label order so scrapes are diffable.
-func (m *metrics) write(w io.Writer, healthy, total int) {
+func (m *metrics) write(w io.Writer, healthy, total, breakersOpen int) {
 	fmt.Fprintln(w, "# HELP pixelfleet_workers Configured workers in the fleet.")
 	fmt.Fprintln(w, "# TYPE pixelfleet_workers gauge")
 	fmt.Fprintf(w, "pixelfleet_workers %d\n", total)
@@ -102,6 +113,10 @@ func (m *metrics) write(w io.Writer, healthy, total int) {
 	fmt.Fprintln(w, "# HELP pixelfleet_workers_healthy Workers the prober currently trusts.")
 	fmt.Fprintln(w, "# TYPE pixelfleet_workers_healthy gauge")
 	fmt.Fprintf(w, "pixelfleet_workers_healthy %d\n", healthy)
+
+	fmt.Fprintln(w, "# HELP pixelfleet_breakers_open Workers whose circuit breaker currently refuses calls.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_breakers_open gauge")
+	fmt.Fprintf(w, "pixelfleet_breakers_open %d\n", breakersOpen)
 
 	fmt.Fprintln(w, "# HELP pixelfleet_hedges_fired_total Duplicate shard arms launched past the straggler deadline.")
 	fmt.Fprintln(w, "# TYPE pixelfleet_hedges_fired_total counter")
@@ -122,6 +137,38 @@ func (m *metrics) write(w io.Writer, healthy, total int) {
 	fmt.Fprintln(w, "# HELP pixelfleet_worker_revivals_total Evicted workers revived by a good health probe.")
 	fmt.Fprintln(w, "# TYPE pixelfleet_worker_revivals_total counter")
 	fmt.Fprintf(w, "pixelfleet_worker_revivals_total %d\n", m.revivals.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_breaker_opens_total Circuit-breaker transitions into the open state.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_breaker_opens_total counter")
+	fmt.Fprintf(w, "pixelfleet_breaker_opens_total %d\n", m.breakerOpens.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_breaker_skips_total Candidate workers skipped because their breaker refused the call.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_breaker_skips_total counter")
+	fmt.Fprintf(w, "pixelfleet_breaker_skips_total %d\n", m.breakerSkips.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_workers_added_total Members admitted via the membership API.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_workers_added_total counter")
+	fmt.Fprintf(w, "pixelfleet_workers_added_total %d\n", m.workersAdded.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_workers_removed_total Members retired via the membership API.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_workers_removed_total counter")
+	fmt.Fprintf(w, "pixelfleet_workers_removed_total %d\n", m.workersRemoved.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_salvage_rounds_total Salvage re-plan rounds run by fleet jobs.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_salvage_rounds_total counter")
+	fmt.Fprintf(w, "pixelfleet_salvage_rounds_total %d\n", m.salvageRounds.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_salvaged_units_total Cells and sigma points kept from failed shards instead of re-run.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_salvaged_units_total counter")
+	fmt.Fprintf(w, "pixelfleet_salvaged_units_total %d\n", m.salvagedUnits.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_replanned_units_total Cells and sigma points re-dispatched in salvage shards.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_replanned_units_total counter")
+	fmt.Fprintf(w, "pixelfleet_replanned_units_total %d\n", m.replannedUnits.Load())
+
+	fmt.Fprintln(w, "# HELP pixelfleet_jobs_parked_total Fleet jobs that paused waiting for a healthy worker.")
+	fmt.Fprintln(w, "# TYPE pixelfleet_jobs_parked_total counter")
+	fmt.Fprintf(w, "pixelfleet_jobs_parked_total %d\n", m.jobsParked.Load())
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -70,7 +70,7 @@ func planSweep(req api.SweepRequest, target int) (shards []sweepShard, points in
 		sub := api.SweepRequest{Networks: req.Networks, Designs: dNames, Lanes: lanes, Bits: bits}
 		shards = append(shards, sweepShard{
 			Req:   sub,
-			Key:   fmt.Sprintf("sweep|%q|%v|%v|%v", sub.Networks, sub.Designs, sub.Lanes, sub.Bits),
+			Key:   sweepKey(sub),
 			Start: start,
 			Count: count,
 		})
@@ -155,18 +155,11 @@ func planRobustness(req api.RobustnessRequest, maxTrials, target int) ([]robustS
 	if len(req.Sigmas) > maxSigmaPoints {
 		return nil, badRequestf("sigma axis of %d points exceeds the %d-point limit", len(req.Sigmas), maxSigmaPoints)
 	}
-	key := func(sub api.RobustnessRequest) string {
-		k := fmt.Sprintf("robustness|%s|%s|%v|%d|%d|%v", sub.Network, sub.Design, sub.Sigmas, sub.Trials, sub.Seed, sub.ErrorBudget)
-		if p := sub.Protection; p != nil {
-			k += fmt.Sprintf("|%s:%d:%d:%d", p.Scheme, p.Copies, p.Retries, p.RecalEvery)
-		}
-		return k
-	}
 	n := len(req.Sigmas)
 	if n == 0 || target <= 1 {
 		// Degenerate axes pass through whole so the worker's own
 		// validation (and response shape) applies verbatim.
-		return []robustShard{{Req: req, Key: key(req)}}, nil
+		return []robustShard{{Req: req, Key: robustKey(req)}}, nil
 	}
 	k := target
 	if k > n {
@@ -176,9 +169,25 @@ func planRobustness(req api.RobustnessRequest, maxTrials, target int) ([]robustS
 	for _, r := range chunkRanges(n, k) {
 		sub := req
 		sub.Sigmas = req.Sigmas[r[0]:r[1]]
-		shards = append(shards, robustShard{Req: sub, Key: key(sub), Lo: r[0]})
+		shards = append(shards, robustShard{Req: sub, Key: robustKey(sub), Lo: r[0]})
 	}
 	return shards, nil
+}
+
+// sweepKey is the consistent-hash routing key of a sweep sub-request,
+// stable across repeats so the same chunk lands on the same worker's
+// result LRU.
+func sweepKey(sub api.SweepRequest) string {
+	return fmt.Sprintf("sweep|%q|%v|%v|%v", sub.Networks, sub.Designs, sub.Lanes, sub.Bits)
+}
+
+// robustKey is the routing key of a robustness sub-request.
+func robustKey(sub api.RobustnessRequest) string {
+	k := fmt.Sprintf("robustness|%s|%s|%v|%d|%d|%v", sub.Network, sub.Design, sub.Sigmas, sub.Trials, sub.Seed, sub.ErrorBudget)
+	if p := sub.Protection; p != nil {
+		k += fmt.Sprintf("|%s:%d:%d:%d", p.Scheme, p.Copies, p.Retries, p.RecalEvery)
+	}
+	return k
 }
 
 // mergeRobustness concatenates shard σ points in axis order and

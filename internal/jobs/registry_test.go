@@ -315,6 +315,107 @@ func TestRegistryShutdownRecovery(t *testing.T) {
 	}
 }
 
+// TestRegistryRestartStreamContinuity is satellite coverage for the
+// Last-Event-ID contract: a live subscriber follows a job's event log
+// through a registry shutdown, then resumes on the re-adopted job with
+// After(lastSeq) — exactly what an SSE client reconnecting with
+// Last-Event-ID does. The merged stream must be strictly monotone with
+// no duplicates, pick up with the "adopted" marker, and end terminal.
+func TestRegistryRestartStreamContinuity(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 8
+	first := &fakeTask{total: total, gate: make(chan struct{}, total)}
+	r1 := NewRegistry(RegistryOptions{
+		Factory:   singleTaskFactory(map[string]*fakeTask{"fake": first}),
+		Manager:   mgr,
+		SaveEvery: time.Hour,
+	})
+	j1, err := r1.Create("fake", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live subscriber: drain j1's log exactly the way the SSE handler
+	// does — Changed before After — while the producer is running.
+	var got []Event
+	lastSeq := int64(-1)
+	drain := func(log *EventLog) {
+		for _, e := range log.After(lastSeq) {
+			if e.Seq <= lastSeq {
+				t.Fatalf("event seq %d not strictly after %d", e.Seq, lastSeq)
+			}
+			lastSeq = e.Seq
+			got = append(got, e)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		first.gate <- struct{}{}
+	}
+	deadline := time.After(10 * time.Second)
+	for len(got) < 3 {
+		ch := j1.Events.Changed()
+		drain(j1.Events)
+		if len(got) >= 3 {
+			break
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			t.Fatalf("subscriber saw %d events before restart, want 3", len(got))
+		}
+	}
+	preRestart := len(got)
+	r1.Close() // the stream dies mid-run, like a coordinator crash
+
+	second := &fakeTask{total: total}
+	mgr2, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry(RegistryOptions{
+		Factory: singleTaskFactory(map[string]*fakeTask{"fake": second}),
+		Manager: mgr2,
+	})
+	defer r2.Close()
+	if resumed, err := r2.Recover(); err != nil || resumed != 1 {
+		t.Fatalf("recover: resumed=%d err=%v", resumed, err)
+	}
+	j2, ok := r2.Get(j1.ID)
+	if !ok {
+		t.Fatal("re-adopted job not resolvable")
+	}
+	waitTerminal(t, j2)
+
+	// Reconnect with the pre-restart Last-Event-ID and drain to the end.
+	drain(j2.Events)
+	if len(got) <= preRestart {
+		t.Fatal("no events delivered after the restart resume")
+	}
+	resumeHead := got[preRestart]
+	if resumeHead.Type != "adopted" {
+		t.Fatalf("first post-restart event %q, want adopted", resumeHead.Type)
+	}
+	seen := make(map[int64]bool, len(got))
+	prev := int64(-1)
+	for _, e := range got {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d in merged stream", e.Seq)
+		}
+		seen[e.Seq] = true
+		if e.Seq <= prev {
+			t.Fatalf("merged stream not strictly increasing: %d after %d", e.Seq, prev)
+		}
+		prev = e.Seq
+	}
+	if last := got[len(got)-1]; last.Type != EventSucceeded {
+		t.Fatalf("merged stream ends with %q, want succeeded", last.Type)
+	}
+}
+
 // TestRegistryRecoverFinishedJob proves terminal jobs stay queryable
 // across a restart (until TTL eviction) without re-running anything.
 func TestRegistryRecoverFinishedJob(t *testing.T) {
